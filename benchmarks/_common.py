@@ -1,0 +1,45 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every paper figure gets one bench module.  The benches run at the
+*reduced* scale documented in DESIGN.md (S3): |V| = 100 in the paper's
+1000 m x 1000 m region, battery sweep rescaled so the budget binds across
+the sweep.  Each bench times one planning call (the quantity in the
+paper's Figs. 3(b)/4(b)/5(b)) and records the collected volume in
+``benchmark.extra_info`` (the quantity in Figs. 3(a)/4(a)/5(a));
+``--benchmark-json`` output therefore contains both panels of every figure.
+"""
+
+from __future__ import annotations
+
+from repro.energy.model import EnergyModel
+from repro.experiments.config import reduced_settings
+
+#: Reduced-scale campaign shared by all figure benches.
+BENCH_CONFIG = reduced_settings().scaled(n_nodes=100, n_instances=1,
+                                         seed=20200518)
+
+#: Battery sweep (J) for Figs. 3 and 5 at the reduced scale.
+CAPACITY_SWEEP = (3e4, 5e4, 7e4, 9e4)
+
+#: Grid-resolution sweep (m) for Fig. 4.
+DELTA_SWEEP = (10.0, 15.0, 20.0, 25.0, 30.0)
+
+#: Fixed grid for the capacity sweeps (paper: 10 m).
+FIXED_DELTA = 15.0
+
+#: Algorithm 3 partition counts plotted in Figs. 4-5.
+K_VALUES = (2, 4)
+
+
+def energy_with(capacity: float) -> EnergyModel:
+    """Paper energy rates at a swept capacity."""
+    return BENCH_CONFIG.energy_model(capacity=capacity)
+
+
+def record_tour(benchmark, tour) -> None:
+    """Attach the volume panel to the timing panel."""
+    benchmark.extra_info["collected_gb"] = round(
+        tour.collected_volume / 1000.0, 3)
+    benchmark.extra_info["n_hovers"] = tour.n_hovers
+    benchmark.extra_info["energy_used_j"] = round(tour.total_energy, 1)
+    benchmark.extra_info["method"] = tour.method

@@ -1,0 +1,53 @@
+"""Ablation: orienteering backend inside Algorithm 1 (DESIGN.md S1/§7).
+
+Quantifies the quality/runtime trade between the deterministic greedy
+construction, GRASP at increasing restart counts, and (on a tiny slice)
+the exact subset DP — the evidence behind substituting GRASP for the
+Bansal et al. approximation.
+"""
+
+import pytest
+
+from _common import FIXED_DELTA, energy_with, record_tour
+from repro.core.algorithm1 import plan_algorithm1
+from repro.experiments.config import reduced_settings
+from repro.experiments.instances import make_instances
+
+ABLATION_CAPACITY = 5e4
+SMALL_CONFIG = reduced_settings().scaled(n_nodes=60, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return make_instances(SMALL_CONFIG, n_instances=1)[0]
+
+
+def test_ablation_greedy(benchmark, small_network, bench_radio):
+    energy = energy_with(ABLATION_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_algorithm1,
+        args=(small_network, energy, bench_radio, FIXED_DELTA),
+        kwargs={"solver": "greedy"},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+@pytest.mark.parametrize("restarts", [1, 2, 4, 8])
+def test_ablation_grasp(benchmark, small_network, bench_radio, restarts):
+    energy = energy_with(ABLATION_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_algorithm1,
+        args=(small_network, energy, bench_radio, FIXED_DELTA),
+        kwargs={"solver": "grasp", "n_restarts": restarts, "seed": 0},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+def test_ablation_grasp_beats_greedy(small_network, bench_radio):
+    """GRASP(8) must dominate raw greedy (it contains it as restart 0)."""
+    energy = energy_with(ABLATION_CAPACITY)
+    greedy = plan_algorithm1(small_network, energy, bench_radio, FIXED_DELTA,
+                             solver="greedy")
+    grasp = plan_algorithm1(small_network, energy, bench_radio, FIXED_DELTA,
+                            solver="grasp", n_restarts=8, seed=0)
+    assert grasp.collected_volume >= greedy.collected_volume - 1e-6

@@ -1,0 +1,45 @@
+"""Ablation: incremental-TSP mode inside Algorithm 2 (DESIGN.md §7).
+
+The paper's pseudo-code recomputes a Christofides tour for every candidate
+in every iteration (O(|S|^3) per candidate); the library's default instead
+uses the cheapest-insertion delta.  This bench quantifies the speed gap
+and checks the quality gap stays small on a common instance.
+"""
+
+import pytest
+
+from _common import energy_with, record_tour
+from repro.core.algorithm2 import plan_algorithm2
+from repro.experiments.config import reduced_settings
+from repro.experiments.instances import make_instances
+
+#: Smaller instance — christofides mode is O(candidates * |S|^3) per step.
+ABLATION_CONFIG = reduced_settings().scaled(n_nodes=30, seed=7)
+ABLATION_CAPACITY = 2.5e4
+ABLATION_DELTA = 30.0
+
+
+@pytest.fixture(scope="module")
+def ablation_network():
+    return make_instances(ABLATION_CONFIG, n_instances=1)[0]
+
+
+@pytest.mark.parametrize("mode", ["insertion", "christofides"])
+def test_ablation_tsp_mode(benchmark, ablation_network, bench_radio, mode):
+    energy = energy_with(ABLATION_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_algorithm2,
+        args=(ablation_network, energy, bench_radio, ABLATION_DELTA),
+        kwargs={"tsp_mode": mode},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+def test_ablation_quality_gap_small(ablation_network, bench_radio):
+    """Insertion mode must stay within 10 % of the paper-literal mode."""
+    energy = energy_with(ABLATION_CAPACITY)
+    fast = plan_algorithm2(ablation_network, energy, bench_radio,
+                           ABLATION_DELTA, tsp_mode="insertion")
+    literal = plan_algorithm2(ablation_network, energy, bench_radio,
+                              ABLATION_DELTA, tsp_mode="christofides")
+    assert fast.collected_volume >= 0.9 * literal.collected_volume

@@ -1,0 +1,78 @@
+"""Micro-benchmarks for the substrate hot paths.
+
+Not tied to a paper figure; these guard the kernels the planners spend
+their time in (coverage queries, TSP construction, auxiliary-graph
+assembly) against performance regressions, and quantify the KD-tree vs
+brute-force design choice flagged in DESIGN.md §7.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auxgraph import build_auxiliary_graph
+from repro.core.hovering import build_hovering_sites
+from repro.energy.model import PAPER_ENERGY_MODEL
+from repro.geometry.coverage import coverage_matrix, coverage_sets_bruteforce
+from repro.geometry.distance import pairwise_distances
+from repro.geometry.grid import GridPartition
+from repro.tsp.christofides import christofides_tour
+from repro.tsp.construct import cheapest_insertion_tour, nearest_neighbor_tour
+from repro.tsp.improve import two_opt
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 1000, (200, 2))
+
+
+@pytest.fixture(scope="module")
+def dist(points):
+    return pairwise_distances(points)
+
+
+def test_bench_pairwise_distances(benchmark, points):
+    benchmark(pairwise_distances, points)
+
+
+def test_bench_coverage_kdtree(benchmark, bench_network):
+    grid = GridPartition(bench_network.region, 10.0)
+    centers = grid.centers()
+    benchmark(coverage_matrix, centers, bench_network.positions, 50.0)
+
+
+def test_bench_coverage_bruteforce(benchmark, bench_network):
+    # The O(n*m) reference the KD-tree path is measured against.
+    grid = GridPartition(bench_network.region, 10.0)
+    centers = grid.centers()
+    benchmark(coverage_sets_bruteforce, centers,
+              bench_network.positions, 50.0)
+
+
+def test_bench_hovering_sites(benchmark, bench_network, bench_radio):
+    benchmark(build_hovering_sites, bench_network, bench_radio, 15.0)
+
+
+def test_bench_auxiliary_graph(benchmark, bench_network, bench_radio):
+    sites = build_hovering_sites(bench_network, bench_radio, 20.0)
+    benchmark(build_auxiliary_graph, sites, PAPER_ENERGY_MODEL)
+
+
+def test_bench_christofides_200(benchmark, dist):
+    benchmark.pedantic(christofides_tour, args=(dist,),
+                       rounds=2, iterations=1)
+
+
+def test_bench_nearest_neighbor_200(benchmark, dist):
+    benchmark(nearest_neighbor_tour, dist)
+
+
+def test_bench_cheapest_insertion_60(benchmark, dist):
+    benchmark.pedantic(cheapest_insertion_tour, args=(dist,),
+                       kwargs={"nodes": list(range(60)), "start": 0},
+                       rounds=2, iterations=1)
+
+
+def test_bench_two_opt_200(benchmark, dist):
+    start = nearest_neighbor_tour(dist)
+    benchmark.pedantic(two_opt, args=(start, dist), rounds=2, iterations=1)

@@ -1,0 +1,98 @@
+"""Sensitivity of planned tours to distance-dependent uplink rates.
+
+Paper §III-B assumes every covered sensor uploads at the full bandwidth
+``B`` and argues the distance-induced rate differences "are negligible if
+the UAV altitude H is relatively low".  This bench makes the claim
+quantitative: plans assume constant ``B``, but execution runs under a
+:class:`~repro.radio.link.DistanceRateModel` at increasing altitudes and
+path-loss exponents, and the shortfall (collected under realistic rates /
+collected claimed) is recorded.
+
+The shape tests assert the paper's claim where it applies — low altitude
+keeps the shortfall small — and that the shortfall grows monotonically
+with altitude, which is the regime where the assumption breaks.
+"""
+
+import pytest
+
+from _common import FIXED_DELTA, energy_with
+from repro.core.algorithm2 import plan_algorithm2
+from repro.radio.link import DistanceRateModel, RadioModel
+from repro.sim.simulator import simulate_mission
+
+CAPACITY = 5e4
+#: Transmission range R = 60 m; sweeping altitude H changes both R0 and
+#: the slant-distance rate profile (slant >= H always).
+ALTITUDES = (5.0, 20.0, 40.0)
+EXPONENT = 2.0
+#: Links saturate the bandwidth cap up to this slant distance.
+SATURATION = 35.0
+
+
+def radio_at(h: float) -> RadioModel:
+    return RadioModel(bandwidth=150.0, transmission_range=60.0, altitude=h)
+
+
+def shortfall_at(network, h: float, d_sat: float = SATURATION) -> float:
+    """1 - (collected under distance rates / claimed) for altitude *h*."""
+    radio = radio_at(h)
+    tour = plan_algorithm2(network, energy_with(CAPACITY), radio,
+                           FIXED_DELTA)
+    if tour.collected_volume <= 0:
+        return 0.0
+    rate_model = DistanceRateModel(base=radio, exponent=EXPONENT,
+                                   saturation_distance=d_sat)
+    trace = simulate_mission(tour, radio, rate_model=rate_model)
+    return 1.0 - trace.collected_volume / tour.collected_volume
+
+
+@pytest.mark.parametrize("altitude", ALTITUDES)
+def test_rate_sensitivity(benchmark, bench_network, altitude):
+    radio = radio_at(altitude)
+    tour = plan_algorithm2(bench_network, energy_with(CAPACITY), radio,
+                           FIXED_DELTA)
+    rate_model = DistanceRateModel(base=radio, exponent=EXPONENT,
+                                   saturation_distance=SATURATION)
+    trace = benchmark.pedantic(
+        simulate_mission, args=(tour, radio),
+        kwargs={"rate_model": rate_model},
+        rounds=2, iterations=1)
+    benchmark.extra_info["altitude_m"] = altitude
+    benchmark.extra_info["claimed_gb"] = round(tour.collected_volume / 1000, 3)
+    benchmark.extra_info["realistic_gb"] = round(
+        trace.collected_volume / 1000, 3)
+    benchmark.extra_info["shortfall"] = round(
+        1.0 - trace.collected_volume / max(tour.collected_volume, 1e-9), 4)
+
+
+def test_paper_claim_needs_near_full_saturation(bench_network):
+    """Measured boundary of the paper's 'negligible' claim.
+
+    The constant-rate assumption is near-exact at low altitude *when the
+    link saturates the cap over most of the coverage disc* (d_sat ≈ R):
+    shortfall <= 5 %.  When saturation covers only ~60 % of the range
+    (d_sat = 35 m of R = 60 m), the shortfall at the same low altitude is
+    already >20 % — the assumption is a property of the link budget, not
+    of altitude alone.
+    """
+    near_full = shortfall_at(bench_network, 5.0, d_sat=55.0)
+    assert near_full <= 0.05, near_full
+    partial = shortfall_at(bench_network, 5.0, d_sat=35.0)
+    assert partial >= 0.15, partial
+
+
+def test_shortfall_grows_with_altitude(bench_network):
+    """The assumption degrades monotonically as the UAV climbs
+    (slant >= H pushes every link toward/past the saturation edge)."""
+    values = [shortfall_at(bench_network, h) for h in ALTITUDES]
+    assert all(b >= a - 1e-6 for a, b in zip(values, values[1:])), values
+
+
+def test_zero_exponent_no_shortfall(bench_network):
+    """Sanity: exponent 0 reproduces the constant-rate plan exactly."""
+    radio = radio_at(20.0)
+    tour = plan_algorithm2(bench_network, energy_with(CAPACITY), radio,
+                           FIXED_DELTA)
+    rate_model = DistanceRateModel(base=radio, exponent=0.0)
+    trace = simulate_mission(tour, radio, rate_model=rate_model)
+    assert trace.collected_volume >= tour.collected_volume - 1e-6

@@ -1,0 +1,77 @@
+"""Robustness bench (beyond the paper): plans under execution disturbance.
+
+Executes each planner's tour through the contingency simulator
+(:mod:`repro.sim.perturb`) under headwind / cold-battery / interference /
+sensor-dropout perturbations.  Timings measure the contingency executor;
+``extra_info`` records the surviving data fraction.  The shape tests
+assert the controller's safety contract (the UAV always returns home) and
+a minimum data-retention floor under a moderate headwind.
+"""
+
+import pytest
+
+from _common import FIXED_DELTA, energy_with, record_tour
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.algorithm3 import plan_algorithm3
+from repro.sim.perturb import Perturbation, simulate_with_contingency
+
+ROBUST_CAPACITY = 5e4
+
+PERTURBATIONS = {
+    "nominal": Perturbation.nominal(),
+    "headwind20": Perturbation(speed_factor=0.8),
+    "coldbattery30": Perturbation(hover_power_factor=1.3),
+    "interference50": Perturbation(bandwidth_factor=0.5),
+    "dropout10": Perturbation(sensor_dropout=0.1, seed=5),
+}
+
+
+@pytest.fixture(scope="module")
+def planned_tour(bench_network, bench_radio):
+    return plan_algorithm2(bench_network, energy_with(ROBUST_CAPACITY),
+                           bench_radio, FIXED_DELTA)
+
+
+@pytest.mark.parametrize("name", sorted(PERTURBATIONS))
+def test_robustness_execution(benchmark, planned_tour, bench_radio, name):
+    perturbation = PERTURBATIONS[name]
+    result = benchmark.pedantic(
+        simulate_with_contingency,
+        args=(planned_tour, bench_radio, perturbation),
+        rounds=2, iterations=1)
+    benchmark.extra_info["perturbation"] = name
+    benchmark.extra_info["collected_gb"] = round(
+        result.collected_volume / 1000.0, 3)
+    benchmark.extra_info["fraction_of_plan"] = round(
+        result.collected_volume / max(planned_tour.collected_volume, 1e-9), 3)
+    benchmark.extra_info["aborted"] = result.aborted
+    assert result.returned_safely
+
+
+def test_robustness_never_strands(planned_tour, bench_radio):
+    """Safety contract across the whole disturbance grid."""
+    for speed in (0.5, 0.7, 0.9):
+        for hover in (1.0, 1.4, 1.8):
+            res = simulate_with_contingency(
+                planned_tour, bench_radio,
+                Perturbation(speed_factor=speed, hover_power_factor=hover))
+            assert res.returned_safely
+
+
+def test_robustness_headwind_retention(planned_tour, bench_radio):
+    """A 20 % headwind keeps >= 60 % of the nominal data (EXPERIMENTS.md)."""
+    res = simulate_with_contingency(planned_tour, bench_radio,
+                                    Perturbation(speed_factor=0.8))
+    assert res.collected_volume >= 0.6 * planned_tour.collected_volume
+
+
+def test_robustness_alg3_comparable(bench_network, bench_radio):
+    """Partial-collection plans degrade no worse than full-collection ones."""
+    energy = energy_with(ROBUST_CAPACITY)
+    a2 = plan_algorithm2(bench_network, energy, bench_radio, FIXED_DELTA)
+    a3 = plan_algorithm3(bench_network, energy, bench_radio, FIXED_DELTA, 2)
+    wind = Perturbation(speed_factor=0.8)
+    r2 = simulate_with_contingency(a2, bench_radio, wind)
+    r3 = simulate_with_contingency(a3, bench_radio, wind)
+    assert r3.returned_safely and r2.returned_safely
+    assert r3.collected_volume >= 0.5 * r2.collected_volume

@@ -1,0 +1,20 @@
+"""Session fixtures for the benchmark harness (see _common.py for scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_CONFIG
+from repro.experiments.instances import make_instances
+
+
+@pytest.fixture(scope="session")
+def bench_network():
+    """The shared benchmark instance (seeded, one per session)."""
+    return make_instances(BENCH_CONFIG, n_instances=1)[0]
+
+
+@pytest.fixture(scope="session")
+def bench_radio():
+    """Paper radio model: B = 150 MB/s, R0 = 50 m."""
+    return BENCH_CONFIG.radio_model()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Battery/grid trade-off study: the hover-vs-travel energy split.
+
+The paper's central trade-off (§I): every joule spent travelling is a
+joule not spent hovering.  This example sweeps the battery capacity and
+reports, for Algorithm 2, how the planner splits energy between the two
+activities and how the marginal GB-per-kJ falls as the easy data runs out
+— the diminishing-returns curve behind the paper's Fig. 5(a).
+
+It also sweeps the grid resolution δ at a fixed budget, quantifying the
+paper's Fig. 4(a) observation that finer grids collect more (better
+hovering spots exist) at higher planning cost.
+
+Run:  python examples/battery_tradeoff_study.py
+"""
+
+from repro import EnergyModel, PAPER_RADIO_MODEL, paper_default_network, plan_tour
+from repro.utils.timing import Timer
+
+
+def battery_sweep(net, radio) -> None:
+    print("=== battery sweep (delta = 20 m) ===")
+    print(f"{'capacity':>10}{'collected':>12}{'hover':>9}{'travel':>9}"
+          f"{'marginal':>14}")
+    prev_volume, prev_cap = 0.0, 0.0
+    for cap in (2e4, 4e4, 6e4, 8e4, 1.0e5, 1.2e5):
+        energy = EnergyModel(capacity=cap, hover_power=150.0,
+                             travel_power=100.0, speed=10.0)
+        tour = plan_tour(net, energy, radio, method="algorithm2", delta=20.0)
+        marginal = ((tour.collected_volume - prev_volume)
+                    / ((cap - prev_cap) / 1000.0))
+        print(f"{cap:>10.0f}{tour.collected_volume / 1000:>9.2f} GB"
+              f"{tour.hover_energy / cap:>9.1%}{tour.travel_energy / cap:>9.1%}"
+              f"{marginal:>10.1f} MB/kJ")
+        prev_volume, prev_cap = tour.collected_volume, cap
+
+
+def delta_sweep(net, radio) -> None:
+    print("\n=== grid-resolution sweep (capacity = 6e4 J) ===")
+    energy = EnergyModel(capacity=6e4, hover_power=150.0,
+                         travel_power=100.0, speed=10.0)
+    print(f"{'delta':>7}{'candidates':>12}{'collected':>12}{'plan time':>11}")
+    for delta in (10.0, 15.0, 20.0, 30.0, 40.0, 50.0):
+        with Timer() as t:
+            tour = plan_tour(net, energy, radio, method="algorithm2",
+                             delta=delta)
+        print(f"{delta:>6.0f}m{tour.meta['n_candidates']:>12}"
+              f"{tour.collected_volume / 1000:>9.2f} GB{t.elapsed:>10.2f}s")
+
+
+def main() -> None:
+    net = paper_default_network(n=150, seed=21)
+    radio = PAPER_RADIO_MODEL
+    print(f"instance: {net.n_nodes} nodes, "
+          f"{net.total_volume / 1000:.1f} GB stored\n")
+    battery_sweep(net, radio)
+    delta_sweep(net, radio)
+
+
+if __name__ == "__main__":
+    main()

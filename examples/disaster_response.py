@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Disaster response: partial collection under a severely tight battery.
+
+After a flood, sensor clusters in three hard-hit districts hold large
+volumes of structural-health data; relays are down (the paper's core
+premise) and the UAV's battery covers only a fraction of a full sweep.
+This is exactly where the paper's *partial* data collection (Algorithm 3)
+earns its keep: draining the first minutes of every cluster beats fully
+draining one.
+
+The battery is auto-calibrated to 30 % of what a full sweep would need, so
+the budget always binds.  The example sweeps K (the sojourn-partition
+count) and shows
+
+* collected volume vs K, including the K = 1 (= Algorithm 2) base case,
+* how many sensors were touched vs fully drained — the partial-collection
+  signature,
+* the planning-time cost of finer partitions (paper Fig. 4(b)).
+
+Run:  python examples/disaster_response.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnergyModel,
+    PAPER_RADIO_MODEL,
+    Region,
+    NetworkGenerator,
+    plan_tour,
+)
+from repro.sim import cross_validate
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    # Three flooded districts far apart, 60 sensors, heavy loads (1-4 GB).
+    gen = NetworkGenerator(Region.square(1600.0),
+                           volume_range=(1000.0, 4000.0),
+                           depot=(800.0, 800.0))
+    net = gen.clustered(60, n_clusters=3, spread=60.0, seed=13,
+                        name="flood-districts")
+    radio = PAPER_RADIO_MODEL
+
+    # Calibrate: how much energy would a full sweep need?  Plan once with
+    # an effectively unlimited battery, then grant the UAV 30 % of that.
+    roomy = EnergyModel(capacity=1e9, hover_power=150.0,
+                        travel_power=100.0, speed=10.0)
+    full = plan_tour(net, roomy, radio, method="algorithm2", delta=30.0)
+    energy = EnergyModel(capacity=0.3 * full.total_energy, hover_power=150.0,
+                         travel_power=100.0, speed=10.0)
+    print(f"scenario: {net.n_nodes} sensors in 3 districts, "
+          f"{net.total_volume / 1000:.1f} GB total; full sweep needs "
+          f"{full.total_energy / 1000:.0f} kJ, battery holds "
+          f"{energy.capacity / 1000:.0f} kJ (30%)\n")
+
+    print(f"{'K':>3}{'collected':>12}{'share':>8}{'touched':>9}"
+          f"{'fully drained':>15}{'plan time':>11}")
+    best_partial = 0.0
+    for k in (1, 2, 4, 8):
+        with Timer() as t:
+            tour = plan_tour(net, energy, radio, method="algorithm3",
+                             delta=30.0, K=k)
+        cross_validate(tour, radio)
+        touched = int((tour.collected > 1e-6).sum())
+        drained = int(np.sum(np.abs(tour.collected - net.volumes) < 1e-6))
+        best_partial = max(best_partial, tour.collected_volume)
+        print(f"{k:>3}{tour.collected_volume / 1000:>9.2f} GB"
+              f"{tour.collected_volume / net.total_volume:>8.1%}"
+              f"{touched:>9}{drained:>15}{t.elapsed:>10.2f}s")
+
+    # Contrast with the full-collection baseline: it must fully drain
+    # whatever it visits, stranding energy on the biggest sensors.
+    bench = plan_tour(net, energy, radio, method="benchmark")
+    cross_validate(bench, radio)
+    gain = 100.0 * (best_partial / max(bench.collected_volume, 1e-9) - 1.0)
+    print(f"\nbenchmark (full drain per visit): "
+          f"{bench.collected_volume / 1000:.2f} GB "
+          f"({bench.collected_volume / net.total_volume:.1%}) — "
+          f"partial collection recovers {gain:.0f}% more data")
+
+
+if __name__ == "__main__":
+    main()

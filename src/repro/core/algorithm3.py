@@ -1,0 +1,180 @@
+"""Paper Algorithm 3 — partial data collection over K virtual locations.
+
+Each hovering location ``s_j`` expands into ``K`` virtual locations
+``s_{j,k}`` with sojourn ``k * t(s_j) / K`` and partial award per Eq. 4.
+The greedy loop scores every (site, k) pair by the ratio of residual data
+collectable in that sojourn to the marginal energy, honouring the paper's
+two bookkeeping rules:
+
+* at most one *physical* visit per site — re-selecting an already-visited
+  site is the Lemma 2 "upgrade": extra sojourn is added at zero travel
+  cost (the tour is unchanged, matching
+  ``S'_j <- S'_{j-1} ∪ {s_{j,k2}} \\ {s_{j,k1}}``);
+* after each selection, residual volumes ``D_v^{(j)}`` and the dependent
+  awards/hover times of overlapping candidates are recomputed
+  (Algorithm 3, lines 11–12).  We recompute the *sojourn partitioning*
+  from residual volumes too, so virtual durations always tile the
+  remaining drain time — a strictly finer discretisation than reusing
+  the original ``t(s_j)``, with identical behaviour at K = 1.
+
+With ``K = 1`` this planner coincides with Algorithm 2 (the paper's
+observation that DCM is the special case of PDCM); the test suite asserts
+that equivalence on seeded instances.  Like Algorithm 2, an optional
+``polish`` pass 2-opts the finished tour and resumes the greedy loop with
+the freed travel budget (both planners default to polishing, keeping the
+Fig. 4/5 comparison fair).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.algorithm2 import _DENOM_EPS, _insertion_deltas
+from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.geometry.distance import pairwise_distances
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+from repro.tsp.improve import two_opt
+from repro.tsp.length import tour_length_matrix
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import check_integer
+
+#: Residual volumes below this many MB are treated as fully collected,
+#: which keeps the greedy loop from chasing floating-point dust.
+_VOLUME_TOL = 1e-9
+
+
+def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
+                    radio: RadioModel, delta: float, K: int, *,
+                    polish: bool = True,
+                    sites: Optional[HoveringSites] = None,
+                    max_iterations: Optional[int] = None) -> CollectionTour:
+    """Plan a partial-collection tour with the K-virtual-location heuristic.
+
+    Parameters
+    ----------
+    network, energy, radio, delta:
+        Problem inputs; ``delta`` is the grid edge length.
+    K:
+        Number of equal sojourn partitions per hovering location (>= 1).
+    polish:
+        2-opt the finished tour and resume greedy selection with the
+        freed budget (never reduces collected volume).
+    sites:
+        Pre-built hovering sites (else built from the inputs).
+    max_iterations:
+        Safety bound on greedy iterations (default ``2 * K * (m + 1)``,
+        mirroring the paper's ``M' = K * M`` virtual-square count with
+        headroom for post-polish resumption).
+    """
+    K = check_integer(K, "K", minimum=1)
+    if sites is None:
+        sites = build_hovering_sites(network, radio, delta)
+
+    pts_all = np.vstack([network.depot[None, :], sites.points])
+    cov = sites.cov_matrix
+    bandwidth = radio.bandwidth
+    eta_h = energy.hover_power
+    etat_m = energy.travel_cost_per_meter
+    capacity = energy.capacity
+    m = sites.n_sites
+    n = network.n_nodes
+
+    # --- mutable planner state shared by the greedy loop and the polish ---
+    rem = network.volumes.astype(float).copy()
+    tour: List[int] = [0]
+    sojourn_of = {0: 0.0}
+    state = {"hover": 0.0, "len": 0.0, "iters": 0}
+    in_tour = np.zeros(m + 1, dtype=bool)
+    in_tour[0] = True
+    limit = max_iterations if max_iterations is not None else 2 * K * (m + 1)
+    fractions = np.arange(1, K + 1) / K                          # (K,)
+
+    def greedy_loop() -> None:
+        """Select (site, k) pairs by max ratio until nothing feasible."""
+        while state["iters"] < limit:
+            state["iters"] += 1
+            # Residual coverage: R[j, v] = rem_v if site j covers sensor v.
+            R = np.where(cov, rem[None, :], 0.0)                 # (m, n)
+            t_max = (R.max(axis=1) if n else np.zeros(m)) / bandwidth
+            eligible_site = t_max > _VOLUME_TOL / bandwidth
+            if not eligible_site.any():
+                return
+
+            # Sojourns tau[j, k] and partial awards (Eq. 4 on residuals).
+            tau = t_max[:, None] * fractions[None, :]            # (m, K)
+            p_partial = np.empty((m, K))
+            for k in range(K):
+                p_partial[:, k] = np.minimum(
+                    R, (bandwidth * tau[:, k])[:, None]).sum(axis=1)
+
+            # Travel delta: zero for on-tour sites (Lemma 2 upgrade).
+            deltas, positions = _insertion_deltas(sites.points, pts_all[tour])
+            deltas = np.maximum(deltas, 0.0)
+            deltas[in_tour[1:]] = 0.0
+
+            new_energy = ((state["hover"] + tau) * eta_h
+                          + (state["len"] + deltas)[:, None] * etat_m)
+            feasible = (new_energy <= capacity + 1e-9) \
+                & (p_partial > _VOLUME_TOL) & eligible_site[:, None]
+            if not feasible.any():
+                return
+
+            denom = np.maximum(tau * eta_h + deltas[:, None] * etat_m,
+                               _DENOM_EPS)
+            rho = np.where(feasible, p_partial / denom, -np.inf)
+            j, k = np.unravel_index(int(np.argmax(rho)), rho.shape)
+            j, k = int(j), int(k)
+
+            node = j + 1
+            duration = float(tau[j, k])
+            if not in_tour[node]:
+                tour.insert(int(positions[j]), node)
+                state["len"] += float(deltas[j])
+                in_tour[node] = True
+                sojourn_of[node] = 0.0
+            sojourn_of[node] += duration
+            state["hover"] += duration
+
+            # Drain residuals (OFDMA: each covered device uploads
+            # min(rem, B * duration) on its own channel).
+            covered_v = cov[j]
+            uploaded = np.minimum(rem[covered_v], bandwidth * duration)
+            rem[covered_v] -= uploaded
+            rem[rem < _VOLUME_TOL] = 0.0
+
+    greedy_loop()
+
+    if polish and len(tour) >= 4:
+        tour_arr = np.array(tour, dtype=int)
+        local_dist = pairwise_distances(pts_all[tour_arr])
+        improved = two_opt(np.arange(len(tour_arr)), local_dist)
+        start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
+        order = np.roll(improved, -start)
+        tour[:] = [int(tour_arr[i]) for i in order]
+        state["len"] = tour_length_matrix(
+            np.arange(len(order)), local_dist[np.ix_(order, order)])
+        greedy_loop()
+
+    sojourns = np.array([sojourn_of[v] for v in tour])
+    collected = network.volumes - rem
+    return CollectionTour(
+        points=pts_all[np.array(tour, dtype=int)],
+        sojourns=sojourns, collected=collected,
+        network=network, energy=energy, method="algorithm3",
+        meta={
+            "n_candidates": m,
+            "n_virtual_candidates": m * K,
+            "n_visited": len(tour) - 1,
+            "iterations": state["iters"],
+            "K": K,
+            "polished": bool(polish),
+            "delta": float(sites.delta),
+        })
+
+
+__all__ = ["plan_algorithm3"]

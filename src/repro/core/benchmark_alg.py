@@ -1,0 +1,105 @@
+"""The paper's comparison baseline (§VII-A).
+
+Build a Christofides tour over *all* aggregate sensor nodes plus the depot
+(the UAV hovers directly above each sensor and drains it at bandwidth B).
+While the tour's energy exceeds the battery, remove the node whose removal
+loses the least data per joule saved — i.e. the minimum of
+
+    D_v / (hover_energy(v) + travel_energy_saved_by_splicing(v)),
+
+then splice its neighbours together.  The loop always terminates because
+the depot-only tour costs zero energy.
+
+The paper's running-time observation — the baseline gets *faster* as the
+battery grows, because fewer nodes need pruning — falls straight out of
+this structure and is reproduced by the Fig. 3(b)/5(b) benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.geometry.distance import pairwise_distances
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+from repro.tsp.christofides import christofides_tour
+from repro.tsp.length import tour_length_matrix
+
+
+def plan_benchmark(network: SensorNetwork, energy: EnergyModel,
+                   radio: RadioModel) -> CollectionTour:
+    """Plan a tour with the Christofides-then-prune baseline.
+
+    Parameters
+    ----------
+    network, energy, radio:
+        Problem inputs.  Note the baseline ignores the δ-grid entirely:
+        its hovering locations are the sensor positions themselves, and
+        each visit collects exactly that sensor's data (the paper's
+        baseline does not exploit multi-sensor coverage).
+    """
+    n = network.n_nodes
+    pts_all = np.vstack([network.depot[None, :], network.positions])
+    volumes = network.volumes
+    hover_times = volumes / radio.bandwidth               # D_v / B per sensor
+    eta_h = energy.hover_power
+    etat_m = energy.travel_cost_per_meter
+    capacity = energy.capacity
+
+    dist = pairwise_distances(pts_all)
+    if n == 0:
+        tour = [0]
+    else:
+        tour = [int(v) for v in christofides_tour(dist, start=0)]
+
+    def tour_energy(order: List[int]) -> float:
+        travel = tour_length_matrix(np.array(order, dtype=int), dist)
+        hover = sum(hover_times[v - 1] for v in order if v != 0)
+        return hover * eta_h + travel * etat_m
+
+    removals = 0
+    current = tour_energy(tour)
+    while current > capacity + 1e-9 and len(tour) > 1:
+        best_i, best_ratio = -1, np.inf
+        k = len(tour)
+        for i in range(k):
+            v = tour[i]
+            if v == 0:
+                continue
+            prev_node = tour[i - 1]
+            next_node = tour[(i + 1) % k]
+            saved_travel = (dist[prev_node, v] + dist[v, next_node]
+                            - dist[prev_node, next_node])
+            saved = hover_times[v - 1] * eta_h + saved_travel * etat_m
+            # Data lost per joule saved; prefer removing cheap data that
+            # frees much energy.  Guard: zero saving still has a defined
+            # (infinite) ratio and is never preferred over a real saving.
+            ratio = volumes[v - 1] / saved if saved > 1e-12 else np.inf
+            if ratio < best_ratio:
+                best_ratio, best_i = ratio, i
+        if best_i < 0:
+            break  # only zero-saving nodes left; cannot reduce further
+        tour.pop(best_i)
+        removals += 1
+        current = tour_energy(tour)
+
+    order = np.array(tour, dtype=int)
+    sojourns = np.array([0.0 if v == 0 else hover_times[v - 1] for v in tour])
+    collected = np.zeros(n)
+    kept = order[order > 0] - 1
+    collected[kept] = volumes[kept]
+    return CollectionTour(
+        points=pts_all[order], sojourns=sojourns, collected=collected,
+        network=network, energy=energy, method="benchmark",
+        meta={
+            "n_visited": int(len(order) - 1),
+            "removals": removals,
+            "initial_nodes": n,
+        })
+
+
+__all__ = ["plan_benchmark"]

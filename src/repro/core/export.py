@@ -1,0 +1,207 @@
+"""Mission export: turn a :class:`CollectionTour` into flyable artifacts.
+
+Downstream adopters do not fly `CollectionTour` objects; they upload
+waypoint missions to an autopilot.  This module provides:
+
+* :func:`tour_to_waypoints` — the flat waypoint list (position, altitude,
+  hold time) with cumulative time/energy annotations,
+* :func:`tour_to_plan_dict` / :func:`tour_to_plan_json` — a
+  QGroundControl-style ``.plan`` JSON document (simple-items mission with
+  local ENU coordinates and per-waypoint hold times),
+* :func:`tour_to_csv` — a spreadsheet-friendly dump.
+
+The export is lossless for the library's purposes: a round-trip through
+:func:`waypoints_to_tour` reconstructs a tour with identical geometry and
+sojourns (collected volumes are re-derived by the caller's planner or
+simulator, since they are claims, not flight instructions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+
+#: Schema tag for the exported plan document.
+PLAN_SCHEMA = "repro-uav-plan/1"
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One mission waypoint.
+
+    Attributes
+    ----------
+    index:
+        Sequence number (0 = depot departure).
+    x, y:
+        Local ENU coordinates in metres.
+    altitude:
+        Hover altitude in metres.
+    hold_s:
+        Hover duration at this waypoint (0 for pure transit).
+    eta_s:
+        Cumulative mission time on *arrival* (seconds).
+    energy_j:
+        Cumulative energy on *departure* (joules).
+    """
+
+    index: int
+    x: float
+    y: float
+    altitude: float
+    hold_s: float
+    eta_s: float
+    energy_j: float
+
+
+def tour_to_waypoints(tour: CollectionTour, *,
+                      altitude: float = 0.0) -> List[Waypoint]:
+    """Flatten the tour into waypoints with cumulative ETA/energy.
+
+    The final waypoint is the return to the depot (hold 0), closing the
+    mission explicitly.
+    """
+    energy = tour.energy
+    pts = tour.points
+    waypoints: List[Waypoint] = []
+    clock, spent = 0.0, 0.0
+    for i in range(len(pts)):
+        hold = float(tour.sojourns[i])
+        waypoints.append(Waypoint(index=i, x=float(pts[i][0]),
+                                  y=float(pts[i][1]), altitude=altitude,
+                                  hold_s=hold, eta_s=clock,
+                                  energy_j=spent + energy.hover_energy(hold)))
+        clock += hold
+        spent += energy.hover_energy(hold)
+        nxt = pts[(i + 1) % len(pts)]
+        leg = float(np.hypot(*(nxt - pts[i])))
+        clock += energy.travel_time(leg)
+        spent += energy.travel_energy(leg)
+    # Explicit return-to-depot waypoint.
+    waypoints.append(Waypoint(index=len(pts), x=float(pts[0][0]),
+                              y=float(pts[0][1]), altitude=altitude,
+                              hold_s=0.0, eta_s=clock, energy_j=spent))
+    return waypoints
+
+
+def tour_to_plan_dict(tour: CollectionTour, *, altitude: float = 0.0) -> dict:
+    """QGroundControl-style ``.plan`` document (local ENU frame)."""
+    waypoints = tour_to_waypoints(tour, altitude=altitude)
+    items = []
+    for wp in waypoints:
+        items.append({
+            "type": "SimpleItem",
+            "command": 19 if wp.hold_s > 0 else 16,  # LOITER_TIME / WAYPOINT
+            "params": [wp.hold_s, 0, 0, 0, wp.x, wp.y, wp.altitude],
+            "doJumpId": wp.index + 1,
+            "frame": 1,  # local ENU
+        })
+    return {
+        "schema": PLAN_SCHEMA,
+        "fileType": "Plan",
+        "groundStation": "repro",
+        "mission": {
+            "items": items,
+            "plannedHomePosition": [float(tour.points[0][0]),
+                                    float(tour.points[0][1]), altitude],
+            "vehicleType": 2,  # multirotor
+            "cruiseSpeed": tour.energy.speed,
+        },
+        "meta": {
+            "method": tour.method,
+            "collected_mb": tour.collected_volume,
+            "total_energy_j": tour.total_energy,
+            "battery_j": tour.energy.capacity,
+        },
+    }
+
+
+def tour_to_plan_json(tour: CollectionTour, *, altitude: float = 0.0,
+                      indent: int = 2) -> str:
+    """Serialise :func:`tour_to_plan_dict` to JSON text."""
+    return json.dumps(tour_to_plan_dict(tour, altitude=altitude),
+                      indent=indent)
+
+
+def tour_to_csv(tour: CollectionTour, *, altitude: float = 0.0) -> str:
+    """Waypoints as CSV (index, x, y, altitude, hold_s, eta_s, energy_j)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["index", "x_m", "y_m", "alt_m", "hold_s",
+                     "eta_s", "energy_j"])
+    for wp in tour_to_waypoints(tour, altitude=altitude):
+        writer.writerow([wp.index, f"{wp.x:.3f}", f"{wp.y:.3f}",
+                         f"{wp.altitude:.1f}", f"{wp.hold_s:.3f}",
+                         f"{wp.eta_s:.3f}", f"{wp.energy_j:.1f}"])
+    return buf.getvalue()
+
+
+def waypoints_to_tour(waypoints: List[Waypoint], network: SensorNetwork,
+                      energy: EnergyModel, *,
+                      collected: Optional[np.ndarray] = None,
+                      method: str = "imported") -> CollectionTour:
+    """Reconstruct a tour from waypoints (inverse of :func:`tour_to_waypoints`).
+
+    The trailing return-to-depot waypoint (same position as the first,
+    zero hold) is dropped if present.  ``collected`` defaults to zeros —
+    the import path carries flight geometry, not collection claims.
+    """
+    if not waypoints:
+        raise InvalidParameterError("waypoints must be non-empty")
+    wps = list(waypoints)
+    if (len(wps) >= 2 and wps[-1].hold_s == 0.0
+            and wps[-1].x == wps[0].x and wps[-1].y == wps[0].y):
+        wps = wps[:-1]
+    points = np.array([[w.x, w.y] for w in wps])
+    sojourns = np.array([w.hold_s for w in wps])
+    if collected is None:
+        collected = np.zeros(network.n_nodes)
+    return CollectionTour(points=points, sojourns=sojourns,
+                          collected=np.asarray(collected, dtype=float),
+                          network=network, energy=energy, method=method)
+
+
+def plan_dict_to_tour(plan: dict, network: SensorNetwork,
+                      energy: EnergyModel) -> CollectionTour:
+    """Parse a :func:`tour_to_plan_dict` document back into a tour."""
+    if not isinstance(plan, dict) or plan.get("schema") != PLAN_SCHEMA:
+        raise InvalidParameterError(
+            f"not a {PLAN_SCHEMA} document: schema={plan.get('schema')!r}"
+            if isinstance(plan, dict) else "plan must be a dict")
+    try:
+        items = plan["mission"]["items"]
+        waypoints = [
+            Waypoint(index=i, x=float(it["params"][4]),
+                     y=float(it["params"][5]),
+                     altitude=float(it["params"][6]),
+                     hold_s=float(it["params"][0]),
+                     eta_s=0.0, energy_j=0.0)
+            for i, it in enumerate(items)
+        ]
+    except (KeyError, IndexError, TypeError) as exc:
+        raise InvalidParameterError(f"malformed plan document: {exc}") from exc
+    return waypoints_to_tour(waypoints, network, energy,
+                             method=str(plan.get("meta", {}).get("method",
+                                                                 "imported")))
+
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "Waypoint",
+    "tour_to_waypoints",
+    "tour_to_plan_dict",
+    "tour_to_plan_json",
+    "tour_to_csv",
+    "waypoints_to_tour",
+    "plan_dict_to_tour",
+]

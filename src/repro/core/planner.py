@@ -1,0 +1,71 @@
+"""One-call planning facade.
+
+``plan_tour(network, energy, radio, method="algorithm2", delta=10.0)``
+dispatches to the right planner with sensible defaults; the
+:data:`PLANNERS` registry names every available method for CLIs and
+experiment configs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.core.algorithm1 import plan_algorithm1
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.algorithm3 import plan_algorithm3
+from repro.core.benchmark_alg import plan_benchmark
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+from repro.utils.errors import InvalidParameterError
+
+#: Planner registry: method name -> short description.
+PLANNERS: Dict[str, str] = {
+    "algorithm1": "orienteering reduction, no coverage overlap (paper Alg. 1)",
+    "algorithm2": "greedy max-ratio with overlap (paper Alg. 2)",
+    "algorithm3": "partial collection over K virtual locations (paper Alg. 3)",
+    "benchmark": "Christofides over all sensors + min-ratio pruning (baseline)",
+}
+
+
+def plan_tour(network: SensorNetwork, energy: EnergyModel, radio: RadioModel,
+              *, method: str = "algorithm2", delta: float = 10.0,
+              **kwargs: Any) -> CollectionTour:
+    """Plan a data-collection tour with the chosen *method*.
+
+    Parameters
+    ----------
+    network, energy, radio:
+        Problem inputs.
+    method:
+        One of :data:`PLANNERS`.
+    delta:
+        Grid edge length (ignored by ``"benchmark"``, which hovers directly
+        above sensors).
+    **kwargs:
+        Planner-specific options — e.g. ``K=4`` for ``algorithm3``,
+        ``overlap="ignore"`` for ``algorithm1``, ``tsp_mode="christofides"``
+        for ``algorithm2``/``algorithm3``.
+
+    Returns
+    -------
+    CollectionTour
+    """
+    if method == "algorithm1":
+        return plan_algorithm1(network, energy, radio, delta, **kwargs)
+    if method == "algorithm2":
+        return plan_algorithm2(network, energy, radio, delta, **kwargs)
+    if method == "algorithm3":
+        kwargs.setdefault("K", 2)
+        return plan_algorithm3(network, energy, radio, delta, **kwargs)
+    if method == "benchmark":
+        if kwargs:
+            raise InvalidParameterError(
+                f"benchmark planner takes no extra options, got {sorted(kwargs)}")
+        return plan_benchmark(network, energy, radio)
+    raise InvalidParameterError(
+        f"unknown method {method!r}; expected one of {sorted(PLANNERS)}")
+
+
+__all__ = ["plan_tour", "PLANNERS"]

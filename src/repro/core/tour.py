@@ -1,0 +1,237 @@
+"""Planner output: the :class:`CollectionTour`, and its independent validator.
+
+Every planner returns a :class:`CollectionTour` — the closed tour's hover
+points (depot first), the sojourn duration at each point, and the per-sensor
+collected volumes.  :func:`validate_tour_feasibility` re-derives energy and
+collection claims from first principles (geometry + radio + energy model
+only — none of the planner's internal state), so a planner bug that
+over-claims data or under-counts energy cannot survive the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.energy.model import EnergyModel
+from repro.geometry.distance import tour_length
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+from repro.utils.errors import InfeasibleTourError, InvalidParameterError
+
+#: Absolute tolerance (J / MB / s) used by the validator.
+FEASIBILITY_TOL = 1e-6
+
+
+@dataclass
+class CollectionTour:
+    """A planned UAV data-collection mission.
+
+    Attributes
+    ----------
+    points:
+        ``(k, 2)`` hover coordinates in visit order; row 0 is the depot.
+        The tour is closed (the UAV returns from the last point to row 0).
+    sojourns:
+        Length-``k`` hover durations in seconds (``sojourns[0]`` is 0
+        unless the depot doubles as a hovering location).
+    collected:
+        Length-``n`` per-sensor collected volumes in MB.
+    network:
+        The network the tour was planned for.
+    energy:
+        The energy model the tour was planned against.
+    method:
+        Planner tag (e.g. ``"algorithm2"``).
+    meta:
+        Free-form planner diagnostics (iteration counts, candidate sizes...).
+    """
+
+    points: np.ndarray
+    sojourns: np.ndarray
+    collected: np.ndarray
+    network: SensorNetwork
+    energy: EnergyModel
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=float)
+        self.sojourns = np.asarray(self.sojourns, dtype=float)
+        self.collected = np.asarray(self.collected, dtype=float)
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise InvalidParameterError(
+                f"points must be (k, 2), got {self.points.shape}")
+        if len(self.points) == 0:
+            raise InvalidParameterError("a tour must contain at least the depot")
+        if self.sojourns.shape != (len(self.points),):
+            raise InvalidParameterError(
+                "sojourns must have one entry per tour point")
+        if (self.sojourns < 0).any():
+            raise InvalidParameterError("sojourns must be >= 0")
+        if self.collected.shape != (self.network.n_nodes,):
+            raise InvalidParameterError(
+                f"collected must have shape ({self.network.n_nodes},)")
+        if (self.collected < -FEASIBILITY_TOL).any():
+            raise InvalidParameterError("collected volumes must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_hovers(self) -> int:
+        """Number of tour points with positive sojourn."""
+        return int((self.sojourns > 0).sum())
+
+    @property
+    def travel_distance(self) -> float:
+        """Closed-tour length in metres."""
+        return tour_length(self.points)
+
+    @property
+    def hover_time(self) -> float:
+        """Total hover seconds ``T_h``."""
+        return float(self.sojourns.sum())
+
+    @property
+    def travel_time(self) -> float:
+        """Total travel seconds ``T_t``."""
+        return self.energy.travel_time(self.travel_distance)
+
+    @property
+    def mission_time(self) -> float:
+        """Total mission duration ``T = T_h + T_t``."""
+        return self.hover_time + self.travel_time
+
+    @property
+    def hover_energy(self) -> float:
+        """Joules spent hovering."""
+        return self.energy.hover_energy(self.hover_time)
+
+    @property
+    def travel_energy(self) -> float:
+        """Joules spent travelling."""
+        return self.energy.travel_energy(self.travel_distance)
+
+    @property
+    def total_energy(self) -> float:
+        """Total mission energy (J)."""
+        return self.hover_energy + self.travel_energy
+
+    @property
+    def collected_volume(self) -> float:
+        """Total collected data in MB — the optimisation objective."""
+        return float(self.collected.sum())
+
+    @property
+    def energy_slack(self) -> float:
+        """Unused battery (J); negative means infeasible."""
+        return self.energy.capacity - self.total_energy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CollectionTour(method={self.method!r}, hovers={self.n_hovers}, "
+                f"collected={self.collected_volume:.1f} MB, "
+                f"energy={self.total_energy:.0f}/{self.energy.capacity:.0f} J)")
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of :func:`validate_tour_feasibility`."""
+
+    feasible: bool
+    total_energy: float
+    energy_capacity: float
+    collected_volume: float
+    violations: List[str]
+
+    @property
+    def energy_utilisation(self) -> float:
+        """Fraction of the battery the tour uses."""
+        return self.total_energy / self.energy_capacity
+
+
+def validate_tour_feasibility(tour: CollectionTour, *,
+                              radio: Optional[RadioModel] = None,
+                              strict: bool = True,
+                              tol: float = FEASIBILITY_TOL) -> FeasibilityReport:
+    """Independently re-check every claim a planner made.
+
+    Checks performed (all from raw geometry, not planner state):
+
+    1. **Energy** — recomputed hover + travel energy fits the battery.
+    2. **Closure** — the tour starts at the network depot.
+    3. **Conservation** — no sensor yields more than it stores
+       (``collected[v] <= D_v``).
+    4. **Coverage & bandwidth** (requires *radio*) — for every sensor,
+       the collected volume is at most ``B *`` (total sojourn of tour
+       points covering it); a sensor no tour point covers must have
+       ``collected[v] == 0``.
+
+    Parameters
+    ----------
+    tour:
+        The planner output.
+    radio:
+        Radio model enabling check 4; without it only 1–3 run.
+    strict:
+        Raise :class:`InfeasibleTourError` on any violation instead of
+        returning a failing report.
+    tol:
+        Numerical slack for the comparisons (absolute, plus 1e-9 relative
+        on the energy check).
+    """
+    violations: List[str] = []
+    net = tour.network
+
+    total_energy = tour.total_energy
+    cap = tour.energy.capacity
+    if total_energy > cap * (1 + 1e-9) + tol:
+        violations.append(
+            f"energy {total_energy:.3f} J exceeds capacity {cap:.3f} J")
+
+    if not np.allclose(tour.points[0], net.depot, atol=1e-9):
+        violations.append(
+            f"tour starts at {tour.points[0]}, not the depot {net.depot}")
+
+    over = tour.collected - net.volumes
+    if (over > tol).any():
+        worst = int(np.argmax(over))
+        violations.append(
+            f"sensor {worst} over-collected: {tour.collected[worst]:.6f} MB "
+            f"of {net.volumes[worst]:.6f} MB stored")
+
+    if radio is not None and net.n_nodes > 0:
+        r0 = radio.coverage_radius
+        # (k, n) ground distances from each tour point to each sensor.
+        diff = tour.points[:, None, :] - net.positions[None, :, :]
+        dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        cover = dists <= r0 + 1e-9
+        # Upper bound on what each sensor could upload across the mission.
+        capacity_mb = radio.bandwidth * (cover * tour.sojourns[:, None]).sum(axis=0)
+        excess = tour.collected - capacity_mb
+        if (excess > tol * max(1.0, radio.bandwidth)).any():
+            worst = int(np.argmax(excess))
+            violations.append(
+                f"sensor {worst} collected {tour.collected[worst]:.6f} MB but "
+                f"covered sojourns only allow {capacity_mb[worst]:.6f} MB")
+
+    report = FeasibilityReport(feasible=not violations,
+                               total_energy=total_energy,
+                               energy_capacity=cap,
+                               collected_volume=tour.collected_volume,
+                               violations=violations)
+    if strict and violations:
+        raise InfeasibleTourError(
+            "infeasible tour: " + "; ".join(violations),
+            required=total_energy, available=cap)
+    return report
+
+
+__all__ = [
+    "CollectionTour",
+    "FeasibilityReport",
+    "validate_tour_feasibility",
+    "FEASIBILITY_TOL",
+]

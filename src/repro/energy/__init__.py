@@ -1,0 +1,25 @@
+"""UAV energy substrate.
+
+The UAV spends energy on exactly two activities (paper §III-A):
+hovering at rate ``eta_h`` (J/s) and travelling at rate ``eta_t`` (J/s),
+flying at constant speed.  The tour constraint is
+``T_h * eta_h + T_t * eta_t <= E``.
+
+* :mod:`repro.energy.model` — :class:`EnergyModel` with the rate constants
+  and the energy⇄time⇄distance conversions every planner uses,
+* :mod:`repro.energy.ledger` — :class:`EnergyLedger`, an append-only
+  per-leg account used by the execution simulator and the validators,
+* :data:`PAPER_ENERGY_MODEL` — the paper's §VII-A setting
+  (E = 3e5 J, speed 10 m/s, eta_t = 100 J/s, eta_h = 150 J/s, which the
+  paper attributes to a DJI Phantom 4 Pro class airframe).
+"""
+
+from repro.energy.model import (
+    EnergyModel,
+    PAPER_ENERGY_MODEL,
+    PAPER_LITERAL_ENERGY_MODEL,
+)
+from repro.energy.ledger import EnergyLedger, LedgerEntry
+
+__all__ = ["EnergyModel", "PAPER_ENERGY_MODEL", "PAPER_LITERAL_ENERGY_MODEL",
+           "EnergyLedger", "LedgerEntry"]

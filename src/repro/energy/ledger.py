@@ -1,0 +1,115 @@
+"""Append-only energy account for a UAV mission.
+
+The execution simulator (:mod:`repro.sim`) debits the ledger once per
+flight leg and once per hover; validators then assert that the planner's
+claimed energy matches the ledger total and that the battery never goes
+negative mid-mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal
+
+from repro.energy.model import EnergyModel
+from repro.utils.errors import InfeasibleTourError, InvalidParameterError
+from repro.utils.validation import check_non_negative
+
+Activity = Literal["travel", "hover"]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One debit: activity kind, duration (s), and energy (J)."""
+
+    activity: Activity
+    duration: float
+    energy: float
+    note: str = ""
+
+
+class EnergyLedger:
+    """Tracks UAV energy consumption against a battery capacity.
+
+    Parameters
+    ----------
+    model:
+        The :class:`EnergyModel` whose capacity bounds the mission.
+    strict:
+        When True (default), a debit that would overdraw the battery raises
+        :class:`InfeasibleTourError`; when False it is recorded and the
+        ledger merely reports :attr:`overdrawn`.
+    """
+
+    def __init__(self, model: EnergyModel, *, strict: bool = True) -> None:
+        if not isinstance(model, EnergyModel):
+            raise InvalidParameterError("model must be an EnergyModel")
+        self._model = model
+        self._strict = strict
+        self._entries: List[LedgerEntry] = []
+        self._spent = 0.0
+
+    @property
+    def model(self) -> EnergyModel:
+        """The governing energy model."""
+        return self._model
+
+    @property
+    def entries(self) -> List[LedgerEntry]:
+        """Immutable view of recorded debits (a copy)."""
+        return list(self._entries)
+
+    @property
+    def spent(self) -> float:
+        """Total joules debited so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Joules left in the battery (may be negative when non-strict)."""
+        return self._model.capacity - self._spent
+
+    @property
+    def overdrawn(self) -> bool:
+        """True when spending exceeds capacity (possible only when non-strict)."""
+        return self._spent > self._model.capacity + 1e-9
+
+    @property
+    def travel_time(self) -> float:
+        """Total seconds spent travelling."""
+        return sum(e.duration for e in self._entries if e.activity == "travel")
+
+    @property
+    def hover_time(self) -> float:
+        """Total seconds spent hovering."""
+        return sum(e.duration for e in self._entries if e.activity == "hover")
+
+    def _debit(self, entry: LedgerEntry) -> None:
+        new_spent = self._spent + entry.energy
+        if self._strict and new_spent > self._model.capacity + 1e-9:
+            raise InfeasibleTourError(
+                f"energy overdraw: {entry.activity} of {entry.energy:.1f} J "
+                f"would exceed capacity {self._model.capacity:.1f} J "
+                f"(spent {self._spent:.1f} J)",
+                required=new_spent, available=self._model.capacity)
+        self._entries.append(entry)
+        self._spent = new_spent
+
+    def debit_travel(self, distance: float, note: str = "") -> LedgerEntry:
+        """Record a flight leg of *distance* metres; returns the entry."""
+        check_non_negative(distance, "distance")
+        entry = LedgerEntry("travel", self._model.travel_time(distance),
+                            self._model.travel_energy(distance), note)
+        self._debit(entry)
+        return entry
+
+    def debit_hover(self, duration: float, note: str = "") -> LedgerEntry:
+        """Record a hover of *duration* seconds; returns the entry."""
+        check_non_negative(duration, "duration")
+        entry = LedgerEntry("hover", duration,
+                            self._model.hover_energy(duration), note)
+        self._debit(entry)
+        return entry
+
+
+__all__ = ["EnergyLedger", "LedgerEntry", "Activity"]

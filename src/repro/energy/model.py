@@ -1,0 +1,122 @@
+"""UAV energy model (paper §III-A and §VII-A).
+
+All planners reason about energy through this one dataclass so the unit
+conversions live in a single place:
+
+* travelling a distance ``l`` metres takes ``l / speed`` seconds and costs
+  ``(l / speed) * eta_t`` joules — i.e. ``eta_t / speed`` J/m — under the
+  *physical* reading of the paper's "eta_t = 100 J/s at 10 m/s".
+* hovering ``t`` seconds costs ``t * eta_h`` joules.
+
+The paper's equations, however, write the travel term as ``l * eta_t``
+(Eq. 9) with no division by speed, and its reported absolute volumes
+(e.g. Fig. 4's 132.8 GB of a ~275 GB instance at E = 3e5 J) are only
+reachable if travel really costs ~100 J per *metre* — ten times the
+physical reading.  Both readings are supported via
+:attr:`EnergyModel.distance_based_travel`:
+
+* ``False`` (default) — physical: ``eta_t / speed`` J/m;
+* ``True`` (paper-literal) — ``eta_t`` J/m, reproducing the paper's
+  energy regime at its stated parameters (used by the ``paper`` experiment
+  preset; see EXPERIMENTS.md).
+
+Travel *time* is ``l / speed`` under both readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy parameters of the UAV.
+
+    Attributes
+    ----------
+    capacity:
+        Battery capacity ``E`` in joules.
+    hover_power:
+        Hovering consumption rate ``eta_h`` in J/s.
+    travel_power:
+        Travelling consumption rate ``eta_t`` — J/s under the physical
+        reading, J/m under the paper-literal reading (see below).
+    speed:
+        Constant flying speed in m/s.
+    distance_based_travel:
+        When True, travel costs ``eta_t`` joules per *metre* (the paper's
+        Eq. 9 read literally); when False (default), ``eta_t / speed``
+        joules per metre (the physical J/s reading).
+    """
+
+    capacity: float
+    hover_power: float
+    travel_power: float
+    speed: float
+    distance_based_travel: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity, "capacity")
+        check_positive(self.hover_power, "hover_power")
+        check_positive(self.travel_power, "travel_power")
+        check_positive(self.speed, "speed")
+
+    @property
+    def travel_cost_per_meter(self) -> float:
+        """Joules consumed per metre of flight (see class docstring)."""
+        if self.distance_based_travel:
+            return self.travel_power
+        return self.travel_power / self.speed
+
+    def travel_time(self, distance: float) -> float:
+        """Seconds to fly *distance* metres (reading-independent)."""
+        return check_non_negative(distance, "distance") / self.speed
+
+    def travel_energy(self, distance: float) -> float:
+        """Joules to fly *distance* metres."""
+        return check_non_negative(distance, "distance") * self.travel_cost_per_meter
+
+    def hover_energy(self, duration: float) -> float:
+        """Joules to hover for *duration* seconds."""
+        return check_non_negative(duration, "duration") * self.hover_power
+
+    def tour_energy(self, travel_distance: float, hover_duration: float) -> float:
+        """Total joules for a tour with the given travel/hover totals."""
+        return (self.travel_energy(travel_distance)
+                + self.hover_energy(hover_duration))
+
+    def max_travel_distance(self) -> float:
+        """Longest flyable distance (metres) with zero hovering."""
+        return self.capacity / self.travel_cost_per_meter
+
+    def max_hover_duration(self) -> float:
+        """Longest hover (seconds) with zero travelling."""
+        return self.capacity / self.hover_power
+
+    def remaining_hover_time(self, travel_distance: float) -> float:
+        """Hover seconds affordable after flying *travel_distance* metres.
+
+        Returns a negative number when the travel alone already exceeds the
+        budget, which callers use as an infeasibility signal.
+        """
+        return (self.capacity - self.travel_energy(travel_distance)) / self.hover_power
+
+    def with_capacity(self, capacity: float) -> "EnergyModel":
+        """A copy with a different battery capacity (used in the E sweeps)."""
+        return replace(self, capacity=capacity)
+
+
+#: Paper §VII-A defaults under the physical reading: 3e5 J battery, 10 m/s,
+#: eta_t = 100 J/s, eta_h = 150 J/s.
+PAPER_ENERGY_MODEL = EnergyModel(capacity=3e5, hover_power=150.0,
+                                 travel_power=100.0, speed=10.0)
+
+#: The same parameters under the paper-literal Eq. 9 reading (eta_t J/m) —
+#: this is the regime the paper's absolute figures live in.
+PAPER_LITERAL_ENERGY_MODEL = EnergyModel(capacity=3e5, hover_power=150.0,
+                                         travel_power=100.0, speed=10.0,
+                                         distance_based_travel=True)
+
+__all__ = ["EnergyModel", "PAPER_ENERGY_MODEL", "PAPER_LITERAL_ENERGY_MODEL"]

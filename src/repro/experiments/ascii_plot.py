@@ -1,0 +1,132 @@
+"""Terminal rendering of sweep results — no matplotlib required.
+
+The offline environments this library targets often lack plotting stacks,
+so the figure runners can render their two panels (collected volume and
+planning time) as Unicode line charts directly in the terminal:
+
+>>> result = run_fig5(reduced_settings())          # doctest: +SKIP
+>>> print(render_sweep(result, panel="volume"))    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import SweepResult
+from repro.utils.errors import InvalidParameterError
+
+#: Marker characters assigned to algorithms in plot order.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    t = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(t * (size - 1)))))
+
+
+def render_series(xs: Sequence[float], series: Dict[str, Sequence[float]],
+                  *, width: int = 64, height: int = 16,
+                  ylabel: str = "", xlabel: str = "") -> str:
+    """Render named y-series over shared x-values as a Unicode chart.
+
+    Parameters
+    ----------
+    xs:
+        Shared x coordinates (sorted ascending).
+    series:
+        Mapping name -> y values (same length as *xs*).
+    width, height:
+        Canvas size in characters (excluding axes/labels).
+    ylabel, xlabel:
+        Axis captions.
+    """
+    if not series:
+        raise InvalidParameterError("series must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}")
+    if len(xs) == 0:
+        raise InvalidParameterError("xs must be non-empty")
+
+    all_y = [y for ys in series.values() for y in ys]
+    ylo, yhi = min(all_y), max(all_y)
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    xlo, xhi = min(xs), max(xs)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        cols = [_scale(x, xlo, xhi, width) for x in xs]
+        rows = [height - 1 - _scale(y, ylo, yhi, height) for y in ys]
+        # Connect consecutive points with interpolated dots.
+        for (c1, r1), (c2, r2) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c2 - c1), abs(r2 - r1), 1)
+            for s in range(steps + 1):
+                c = c1 + (c2 - c1) * s // steps
+                r = r1 + (r2 - r1) * s // steps
+                if canvas[r][c] == " ":
+                    canvas[r][c] = "·"
+        for c, r in zip(cols, rows):
+            canvas[r][c] = marker
+
+    lines: List[str] = []
+    if ylabel:
+        lines.append(ylabel)
+    for i, row in enumerate(canvas):
+        # y-axis tick on the first, middle, and last rows.
+        if i == 0:
+            tick = f"{yhi:>10.2f} "
+        elif i == height - 1:
+            tick = f"{ylo:>10.2f} "
+        elif i == height // 2:
+            tick = f"{(ylo + yhi) / 2:>10.2f} "
+        else:
+            tick = " " * 11
+        lines.append(tick + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{xlo:<10g}" + " " * max(0, width - 20)
+                 + f"{xhi:>10g}")
+    if xlabel:
+        lines.append(" " * 12 + xlabel)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_sweep(result: SweepResult, *, panel: str = "volume",
+                 width: int = 64, height: int = 16) -> str:
+    """Render one panel of a figure sweep.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.experiments.runner.SweepResult`.
+    panel:
+        ``"volume"`` (collected GB — the paper's panel (a)) or ``"time"``
+        (planning seconds — panel (b)).
+    """
+    if panel not in ("volume", "time"):
+        raise InvalidParameterError(
+            f"panel must be 'volume' or 'time', got {panel!r}")
+    attr = "mean_volume_gb" if panel == "volume" else "mean_time_s"
+    if not result.rows:
+        raise InvalidParameterError("empty sweep result")
+    xs = sorted({r.param_value for r in result.rows})
+    series: Dict[str, List[float]] = {}
+    for algo in result.algorithms():
+        rows = result.series(algo)
+        by_x = {r.param_value: getattr(r, attr) for r in rows}
+        series[algo] = [by_x[x] for x in xs]
+    ylabel = ("collected data volume (GB)" if panel == "volume"
+              else "planning time (s)")
+    return render_series(xs, series, width=width, height=height,
+                         ylabel=ylabel,
+                         xlabel=result.rows[0].param_name)
+
+
+__all__ = ["render_series", "render_sweep", "MARKERS"]

@@ -1,0 +1,120 @@
+"""Persisting and reloading sweep results; full-report generation.
+
+``repro-experiments ... --out results/`` writes one CSV per figure; this
+module is the other half of that loop:
+
+* :func:`load_sweep_csv` — parse a results CSV back into a
+  :class:`~repro.experiments.runner.SweepResult`,
+* :func:`generate_report` — assemble the EXPERIMENTS-style markdown
+  document (tables + executable claim checks + optional ASCII charts)
+  from a results directory, so the committed document can always be
+  regenerated from the committed data.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Optional
+
+from repro.experiments.claims import (
+    check_fig3_claims,
+    check_fig4_claims,
+    check_fig5_claims,
+    claims_to_markdown,
+)
+from repro.experiments.config import ExperimentConfig, reduced_settings
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.tables import rows_to_markdown
+from repro.utils.errors import InvalidParameterError
+
+_CHECKERS = {
+    "fig3": check_fig3_claims,
+    "fig4": check_fig4_claims,
+    "fig5": check_fig5_claims,
+}
+
+
+def load_sweep_csv(path, *, config: Optional[ExperimentConfig] = None
+                   ) -> SweepResult:
+    """Parse a CSV written by :func:`repro.experiments.tables.rows_to_csv`.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    config:
+        Configuration to attach (cosmetic; defaults to the reduced preset).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"no such results file: {path}")
+    rows = []
+    with path.open() as f:
+        reader = csv.DictReader(f)
+        expected = {"param_name", "param_value", "algorithm",
+                    "mean_volume_gb", "std_volume_gb", "mean_time_s",
+                    "std_time_s", "n_instances"}
+        if reader.fieldnames is None or not expected <= set(reader.fieldnames):
+            raise InvalidParameterError(
+                f"{path} is not a sweep-results CSV "
+                f"(columns: {reader.fieldnames})")
+        try:
+            for r in reader:
+                rows.append(SweepRow(
+                    param_name=r["param_name"],
+                    param_value=float(r["param_value"]),
+                    algorithm=r["algorithm"],
+                    mean_volume_gb=float(r["mean_volume_gb"]),
+                    std_volume_gb=float(r["std_volume_gb"]),
+                    mean_time_s=float(r["mean_time_s"]),
+                    std_time_s=float(r["std_time_s"]),
+                    n_instances=int(r["n_instances"])))
+        except (ValueError, KeyError) as exc:
+            raise InvalidParameterError(
+                f"malformed sweep CSV {path}: {exc}") from exc
+    if not rows:
+        raise InvalidParameterError(f"{path} contains no data rows")
+    return SweepResult(config=config or reduced_settings(), rows=rows)
+
+
+def load_results_dir(directory, *, label: str = "reduced"
+                     ) -> Dict[str, SweepResult]:
+    """Load every ``fig*_<label>.csv`` in *directory* (keyed ``fig3``...)."""
+    directory = pathlib.Path(directory)
+    out: Dict[str, SweepResult] = {}
+    for fig in ("fig3", "fig4", "fig5"):
+        path = directory / f"{fig}_{label}.csv"
+        if path.exists():
+            out[fig] = load_sweep_csv(path)
+    if not out:
+        raise InvalidParameterError(
+            f"no fig*_{label}.csv files found in {directory}")
+    return out
+
+
+def generate_report(directory, *, label: str = "reduced",
+                    ascii_charts: bool = False) -> str:
+    """Markdown report (tables + claim checks) from a results directory."""
+    results = load_results_dir(directory, label=label)
+    parts = [f"# Reproduction report ({label} scale)\n"]
+    all_claims = []
+    for fig, result in sorted(results.items()):
+        parts.append(rows_to_markdown(result, title=fig))
+        if fig in _CHECKERS:
+            claims = _CHECKERS[fig](result)
+            all_claims.extend(claims)
+        if ascii_charts:
+            from repro.experiments.ascii_plot import render_sweep
+            parts.append("```")
+            parts.append(render_sweep(result, panel="volume"))
+            parts.append("```")
+    parts.append("## Claim checks\n")
+    parts.append(claims_to_markdown(all_claims))
+    failed = [c for c in all_claims if not c.passed]
+    parts.append(f"\n**{len(all_claims) - len(failed)}/{len(all_claims)} "
+                 "claims pass.**")
+    return "\n".join(parts) + "\n"
+
+
+__all__ = ["load_sweep_csv", "load_results_dir", "generate_report"]

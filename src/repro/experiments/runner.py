@@ -1,0 +1,151 @@
+"""Generic sweep engine.
+
+One *sweep* = (algorithms x parameter values x instances).  For every cell
+the runner plans a tour, measures wall-clock planning time (the quantity in
+the paper's Figs. 3(b)/4(b)/5(b)), optionally cross-validates the tour
+against the execution simulator, and aggregates means/standard deviations
+across instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.planner import plan_tour
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.experiments.config import ExperimentConfig
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+from repro.sim.validate import cross_validate
+from repro.utils.timing import Timer
+
+#: MB per GB — figure axes in the paper are GB.
+MB_PER_GB = 1000.0
+
+
+@dataclass(frozen=True)
+class AlgoSpec:
+    """One plotted algorithm: display name, planner method, fixed options."""
+
+    name: str
+    method: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepRow:
+    """One aggregated data point (one algorithm at one parameter value)."""
+
+    param_name: str
+    param_value: float
+    algorithm: str
+    mean_volume_gb: float
+    std_volume_gb: float
+    mean_time_s: float
+    std_time_s: float
+    n_instances: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict for CSV writers."""
+        return {
+            "param_name": self.param_name,
+            "param_value": self.param_value,
+            "algorithm": self.algorithm,
+            "mean_volume_gb": self.mean_volume_gb,
+            "std_volume_gb": self.std_volume_gb,
+            "mean_time_s": self.mean_time_s,
+            "std_time_s": self.std_time_s,
+            "n_instances": self.n_instances,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep plus the configuration that produced them."""
+
+    config: ExperimentConfig
+    rows: List[SweepRow]
+
+    def series(self, algorithm: str) -> List[SweepRow]:
+        """The rows of one algorithm, ordered by parameter value."""
+        return sorted((r for r in self.rows if r.algorithm == algorithm),
+                      key=lambda r: r.param_value)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm names in plot order of first appearance."""
+        seen: List[str] = []
+        for r in self.rows:
+            if r.algorithm not in seen:
+                seen.append(r.algorithm)
+        return seen
+
+
+def run_sweep(config: ExperimentConfig,
+              instances: Sequence[SensorNetwork],
+              algorithms: Sequence[AlgoSpec],
+              param_name: str,
+              param_values: Sequence[float],
+              *,
+              make_energy: Callable[[ExperimentConfig, float], EnergyModel],
+              make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
+              validate: bool = True,
+              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """Run a full sweep and aggregate per-cell statistics.
+
+    Parameters
+    ----------
+    config:
+        The campaign configuration.
+    instances:
+        The shared network instance set (see
+        :func:`repro.experiments.instances.make_instances`).
+    algorithms:
+        Plotted algorithms.
+    param_name, param_values:
+        The swept axis (``"capacity"`` or ``"delta"``).
+    make_energy:
+        Maps (config, param value) to the :class:`EnergyModel` for a cell.
+    make_kwargs:
+        Maps (config, param value, spec) to planner kwargs for a cell.
+    validate:
+        Cross-validate every planned tour against the simulator (cheap
+        relative to planning; catches planner regressions during sweeps).
+    progress:
+        Optional callback receiving one status line per cell.
+    """
+    radio = config.radio_model()
+    rows: List[SweepRow] = []
+    for value in param_values:
+        energy = make_energy(config, value)
+        for spec in algorithms:
+            volumes, times = [], []
+            kwargs = make_kwargs(config, value, spec)
+            for net in instances:
+                with Timer() as t:
+                    tour = plan_tour(net, energy, radio,
+                                     method=spec.method, **kwargs)
+                if validate:
+                    cross_validate(tour, radio)
+                volumes.append(tour.collected_volume / MB_PER_GB)
+                times.append(t.elapsed)
+            row = SweepRow(
+                param_name=param_name,
+                param_value=float(value),
+                algorithm=spec.name,
+                mean_volume_gb=float(np.mean(volumes)),
+                std_volume_gb=float(np.std(volumes)),
+                mean_time_s=float(np.mean(times)),
+                std_time_s=float(np.std(times)),
+                n_instances=len(instances))
+            rows.append(row)
+            if progress is not None:
+                progress(f"{param_name}={value:g} {spec.name}: "
+                         f"{row.mean_volume_gb:.2f} GB, {row.mean_time_s:.2f} s")
+    return SweepResult(config=config, rows=rows)
+
+
+__all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB"]

@@ -1,0 +1,235 @@
+"""Dependency-free SVG rendering of sweep results.
+
+Produces standalone ``.svg`` line charts for the paper's figure panels —
+no matplotlib required.  The visual design follows a validated categorical
+palette (worst adjacent colour-vision-deficiency ΔE 24.2, all slots inside
+the lightness band for the light surface) with the standard mark rules:
+
+* 2 px series lines, 8 px circular markers with native ``<title>``
+  tooltips (value shown on hover in any SVG viewer),
+* recessive grid (hairline, low-contrast) and a single y-axis,
+* a legend plus a *direct label* at each series' last point — the two
+  lower-contrast palette slots (aqua, yellow) require visible labels, and
+  direct labels also keep identity legible for colour-blind readers,
+* text in ink colours, never in series colours.
+
+Series are assigned palette slots in fixed order (never cycled); more
+than 8 series is rejected rather than inventing hues.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import SweepResult
+from repro.utils.errors import InvalidParameterError
+
+#: Validated categorical palette, light mode, fixed assignment order.
+PALETTE = ("#2a78d6", "#1baf7a", "#eda100", "#008300",
+           "#4a3aa7", "#e34948", "#e87ba4", "#eb6834")
+SURFACE = "#fcfcfb"
+INK_PRIMARY = "#0b0b0b"
+INK_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi] (simple 1-2-5 ladder)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    # Integer stepping avoids accumulated float error dropping the final
+    # tick (e.g. 0.008 + 0.002 > 0.009 + half-step by 2e-18).
+    k_start = int(np.floor(lo / step + 1e-9))
+    k_end = int(np.ceil(hi / step - 1e-9))
+    return [round(k * step, 10) for k in range(k_start, k_end + 1)]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        return f"{v:.3g}"
+    return f"{v:g}"
+
+
+def render_series_svg(xs: Sequence[float], series: Dict[str, Sequence[float]],
+                      *, title: str = "", ylabel: str = "", xlabel: str = "",
+                      width: int = 640, height: int = 400) -> str:
+    """Render named y-series over shared x-values as a standalone SVG.
+
+    Parameters
+    ----------
+    xs:
+        Shared x coordinates, ascending.
+    series:
+        Mapping name -> y values (same length as *xs*); at most 8 series
+        (palette slots are never cycled).
+    title, ylabel, xlabel:
+        Captions.
+    width, height:
+        Canvas size in px.
+    """
+    if not series:
+        raise InvalidParameterError("series must be non-empty")
+    if len(series) > len(PALETTE):
+        raise InvalidParameterError(
+            f"at most {len(PALETTE)} series supported (palette slots are "
+            "assigned in fixed order, never cycled); fold extras into "
+            "'Other' or use small multiples")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}")
+    if len(xs) == 0:
+        raise InvalidParameterError("xs must be non-empty")
+
+    margin_l, margin_r, margin_t, margin_b = 64, 150, 48, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_ticks = _nice_ticks(min(min(all_y), 0.0) if min(all_y) >= 0 else min(all_y),
+                          max(all_y))
+    ylo, yhi = y_ticks[0], y_ticks[-1]
+    xlo, xhi = min(xs), max(xs)
+    if xhi == xlo:
+        xhi = xlo + 1.0
+
+    def sx(x: float) -> float:
+        return margin_l + (x - xlo) / (xhi - xlo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + (1.0 - (y - ylo) / (yhi - ylo)) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">')
+    parts.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    if title:
+        parts.append(
+            f'<text x="{margin_l}" y="24" font-size="15" font-weight="600" '
+            f'fill="{INK_PRIMARY}">{html.escape(title)}</text>')
+
+    # Recessive grid + y ticks (one axis only).
+    for t in y_ticks:
+        y = sy(t)
+        parts.append(f'<line x1="{margin_l}" y1="{y:.1f}" '
+                     f'x2="{margin_l + plot_w}" y2="{y:.1f}" '
+                     f'stroke="{GRID}" stroke-width="1"/>')
+        parts.append(f'<text x="{margin_l - 8}" y="{y + 4:.1f}" '
+                     f'font-size="11" text-anchor="end" '
+                     f'fill="{INK_SECONDARY}">{_fmt(t)}</text>')
+    # x ticks at the data points (sweeps have few values).
+    for x in xs:
+        px = sx(x)
+        parts.append(f'<text x="{px:.1f}" y="{margin_t + plot_h + 18}" '
+                     f'font-size="11" text-anchor="middle" '
+                     f'fill="{INK_SECONDARY}">{_fmt(x)}</text>')
+    if ylabel:
+        parts.append(
+            f'<text x="16" y="{margin_t + plot_h / 2:.1f}" font-size="12" '
+            f'fill="{INK_SECONDARY}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {margin_t + plot_h / 2:.1f})">'
+            f'{html.escape(ylabel)}</text>')
+    if xlabel:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.1f}" '
+            f'y="{margin_t + plot_h + 40}" font-size="12" '
+            f'text-anchor="middle" fill="{INK_SECONDARY}">'
+            f'{html.escape(xlabel)}</text>')
+
+    # Series: 2px lines, 8px markers with native tooltips.
+    for idx, (name, ys) in enumerate(series.items()):
+        color = PALETTE[idx]
+        pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(f'<polyline points="{pts}" fill="none" '
+                     f'stroke="{color}" stroke-width="2" '
+                     f'stroke-linejoin="round"/>')
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+                f'fill="{color}" stroke="{SURFACE}" stroke-width="2">'
+                f'<title>{html.escape(name)}: x={_fmt(x)}, y={_fmt(y)}'
+                f'</title></circle>')
+
+    # Direct labels at each series' last point, de-overlapped vertically
+    # (series that converge would otherwise collide) and set in ink.
+    label_gap = 13.0
+    targets = sorted(
+        ((sy(list(ys)[-1]) + 4, name) for name, ys in series.items()))
+    placed: List[float] = []
+    for y, _name in targets:
+        if placed and y - placed[-1] < label_gap:
+            y = placed[-1] + label_gap
+        placed.append(min(y, margin_t + plot_h))
+    # A downward clamp can re-collide at the bottom; sweep once upward too.
+    for i in range(len(placed) - 2, -1, -1):
+        if placed[i + 1] - placed[i] < label_gap:
+            placed[i] = placed[i + 1] - label_gap
+    lx = sx(xs[-1]) + 10
+    for (orig_y, name), y in zip(targets, placed):
+        parts.append(f'<text x="{lx:.1f}" y="{y:.1f}" font-size="11" '
+                     f'fill="{INK_PRIMARY}">{html.escape(name)}</text>')
+
+    # Legend (always present for >= 2 series).
+    if len(series) >= 2:
+        ly0 = margin_t
+        for idx, name in enumerate(series):
+            y = ly0 + idx * 18
+            x0 = margin_l + plot_w + 14
+            parts.append(f'<line x1="{x0}" y1="{y}" x2="{x0 + 16}" y2="{y}" '
+                         f'stroke="{PALETTE[idx]}" stroke-width="2"/>')
+            parts.append(f'<circle cx="{x0 + 8}" cy="{y}" r="3.5" '
+                         f'fill="{PALETTE[idx]}"/>')
+            parts.append(f'<text x="{x0 + 22}" y="{y + 4}" font-size="11" '
+                         f'fill="{INK_PRIMARY}">{html.escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_sweep_svg(result: SweepResult, *, panel: str = "volume",
+                     title: str = "", width: int = 640,
+                     height: int = 400) -> str:
+    """Render one panel of a figure sweep as SVG.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.experiments.runner.SweepResult`.
+    panel:
+        ``"volume"`` (panel (a)) or ``"time"`` (panel (b)).
+    title:
+        Chart title (defaults to the panel description).
+    """
+    if panel not in ("volume", "time"):
+        raise InvalidParameterError(
+            f"panel must be 'volume' or 'time', got {panel!r}")
+    if not result.rows:
+        raise InvalidParameterError("empty sweep result")
+    attr = "mean_volume_gb" if panel == "volume" else "mean_time_s"
+    xs = sorted({r.param_value for r in result.rows})
+    series: Dict[str, List[float]] = {}
+    for algo in result.algorithms():
+        by_x = {r.param_value: getattr(r, attr) for r in result.series(algo)}
+        series[algo] = [by_x[x] for x in xs]
+    ylabel = ("collected data volume (GB)" if panel == "volume"
+              else "planning time (s)")
+    return render_series_svg(
+        xs, series, width=width, height=height,
+        title=title or f"{ylabel} vs {result.rows[0].param_name}",
+        ylabel=ylabel, xlabel=result.rows[0].param_name)
+
+
+__all__ = ["render_series_svg", "render_sweep_svg", "PALETTE"]

@@ -1,0 +1,65 @@
+"""Rendering of sweep results as CSV and markdown tables.
+
+The markdown renderer produces the two side-by-side series the paper's
+figures plot — collected volume (GB) and running time (s) — one row per
+swept parameter value, one column per algorithm.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from repro.experiments.runner import SweepResult, SweepRow
+
+
+def rows_to_csv(result: SweepResult) -> str:
+    """Serialise every sweep row to CSV (one line per algorithm x value)."""
+    buf = io.StringIO()
+    fieldnames = ["param_name", "param_value", "algorithm",
+                  "mean_volume_gb", "std_volume_gb",
+                  "mean_time_s", "std_time_s", "n_instances"]
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow(row.as_dict())
+    return buf.getvalue()
+
+
+def _pivot(result: SweepResult, attr: str) -> List[List[str]]:
+    algos = result.algorithms()
+    values = sorted({r.param_value for r in result.rows})
+    header = [result.rows[0].param_name if result.rows else "param"] + algos
+    body: List[List[str]] = []
+    lookup = {(r.param_value, r.algorithm): r for r in result.rows}
+    for v in values:
+        line = [f"{v:g}"]
+        for a in algos:
+            r = lookup.get((v, a))
+            line.append(f"{getattr(r, attr):.3f}" if r is not None else "-")
+        body.append(line)
+    return [header] + body
+
+
+def _markdown_table(grid: List[List[str]]) -> str:
+    header, *body = grid
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in body]
+    return "\n".join(lines)
+
+
+def rows_to_markdown(result: SweepResult, *, title: str = "") -> str:
+    """Render the (a) volume and (b) time panels as markdown tables."""
+    parts = []
+    if title:
+        parts.append(f"### {title}")
+    parts.append("**(a) Collected data volume (GB)**\n")
+    parts.append(_markdown_table(_pivot(result, "mean_volume_gb")))
+    parts.append("\n**(b) Planning time (s)**\n")
+    parts.append(_markdown_table(_pivot(result, "mean_time_s")))
+    return "\n".join(parts) + "\n"
+
+
+__all__ = ["rows_to_csv", "rows_to_markdown"]

@@ -1,0 +1,163 @@
+"""Standalone SVG maps of a planned mission.
+
+Renders a :class:`~repro.core.tour.CollectionTour` over its network:
+sensors sized by stored volume and tinted by collection status, hovering
+coverage discs, the flight path with direction arrows, and the depot.
+Useful in READMEs, reports, and debugging sessions — no matplotlib needed.
+
+Colour roles (same validated palette as :mod:`repro.experiments.svg_plot`):
+the flight path takes categorical slot 1, fully-collected sensors slot 2,
+partially-collected slot 3 (with the collected fraction in the tooltip),
+and uncollected sensors neutral grey.  Every element carries a native
+``<title>`` tooltip; a small legend names the states (identity never rides
+on colour alone).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+import numpy as np
+
+from repro.core.tour import CollectionTour
+from repro.experiments.svg_plot import INK_PRIMARY, INK_SECONDARY, SURFACE
+from repro.radio.link import RadioModel
+from repro.utils.errors import InvalidParameterError
+
+PATH_COLOR = "#2a78d6"       # slot 1 — flight path & hover rings
+FULL_COLOR = "#1baf7a"       # slot 2 — fully collected sensors
+PARTIAL_COLOR = "#eda100"    # slot 3 — partially collected sensors
+EMPTY_COLOR = "#b9b8b3"      # neutral — uncollected sensors
+
+
+def render_tour_svg(tour: CollectionTour, radio: RadioModel, *,
+                    size: int = 560, show_coverage: bool = True) -> str:
+    """Render the mission map as a standalone SVG string.
+
+    Parameters
+    ----------
+    tour:
+        The planned mission.
+    radio:
+        Radio model (for the coverage-disc radius).
+    size:
+        Canvas edge in px (the region is fitted preserving aspect).
+    show_coverage:
+        Draw the ground-projected coverage disc at each hover.
+    """
+    net = tour.network
+    region = net.region
+    assert region is not None
+    margin, legend_h = 24, 54
+    span = max(region.width, region.height)
+    if span <= 0:
+        raise InvalidParameterError("degenerate region")
+    scale = (size - 2 * margin) / span
+
+    def sx(x: float) -> float:
+        return margin + (x - region.xmin) * scale
+
+    def sy(y: float) -> float:
+        # Flip y so north is up.
+        return margin + (region.ymax - y) * scale
+
+    width = size
+    height = int(2 * margin + region.height * scale) + legend_h
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">')
+    parts.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    parts.append(
+        f'<rect x="{sx(region.xmin):.1f}" y="{sy(region.ymax):.1f}" '
+        f'width="{region.width * scale:.1f}" '
+        f'height="{region.height * scale:.1f}" fill="none" '
+        f'stroke="{INK_SECONDARY}" stroke-width="1" stroke-dasharray="4 4"/>')
+
+    # Coverage discs under everything else.
+    if show_coverage:
+        r_px = radio.coverage_radius * scale
+        for p, s in zip(tour.points, tour.sojourns):
+            if s <= 0:
+                continue
+            parts.append(
+                f'<circle cx="{sx(p[0]):.1f}" cy="{sy(p[1]):.1f}" '
+                f'r="{r_px:.1f}" fill="{PATH_COLOR}" fill-opacity="0.08" '
+                f'stroke="{PATH_COLOR}" stroke-opacity="0.35" '
+                f'stroke-width="1"/>')
+
+    # Flight path (closed) with a mid-leg direction arrow.
+    pts = tour.points
+    path = " ".join(f"{sx(p[0]):.1f},{sy(p[1]):.1f}" for p in pts)
+    closing = f"{sx(pts[0][0]):.1f},{sy(pts[0][1]):.1f}"
+    parts.append(f'<polyline points="{path} {closing}" fill="none" '
+                 f'stroke="{PATH_COLOR}" stroke-width="2" '
+                 f'stroke-linejoin="round"/>')
+    if len(pts) >= 2:
+        a, b = pts[0], pts[1]
+        mx, my = sx((a[0] + b[0]) / 2), sy((a[1] + b[1]) / 2)
+        dx, dy = sx(b[0]) - sx(a[0]), sy(b[1]) - sy(a[1])
+        norm = max(np.hypot(dx, dy), 1e-9)
+        ux, uy = dx / norm, dy / norm
+        left = (mx - 6 * ux + 3 * uy, my - 6 * uy - 3 * ux)
+        right = (mx - 6 * ux - 3 * uy, my - 6 * uy + 3 * ux)
+        parts.append(f'<polygon points="{mx:.1f},{my:.1f} '
+                     f'{left[0]:.1f},{left[1]:.1f} '
+                     f'{right[0]:.1f},{right[1]:.1f}" fill="{PATH_COLOR}"/>')
+
+    # Sensors: area ~ stored volume, colour by collection state.
+    vmax = max(float(net.volumes.max()), 1e-9) if net.n_nodes else 1.0
+    for v in range(net.n_nodes):
+        frac = (tour.collected[v] / net.volumes[v]
+                if net.volumes[v] > 0 else 0.0)
+        if frac >= 1.0 - 1e-9:
+            color, state = FULL_COLOR, "fully collected"
+        elif frac > 1e-9:
+            color, state = PARTIAL_COLOR, f"{frac:.0%} collected"
+        else:
+            color, state = EMPTY_COLOR, "not collected"
+        r = 2.5 + 4.5 * np.sqrt(net.volumes[v] / vmax)
+        x, y = sx(net.positions[v][0]), sy(net.positions[v][1])
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{color}" '
+            f'stroke="{SURFACE}" stroke-width="1">'
+            f'<title>sensor {v}: {net.volumes[v]:.0f} MB, {state}</title>'
+            f'</circle>')
+
+    # Hover points + depot on top.
+    for i, (p, s) in enumerate(zip(tour.points, tour.sojourns)):
+        if s > 0:
+            parts.append(
+                f'<circle cx="{sx(p[0]):.1f}" cy="{sy(p[1]):.1f}" r="3.5" '
+                f'fill="{SURFACE}" stroke="{PATH_COLOR}" stroke-width="2">'
+                f'<title>hover {i}: {s:.1f} s</title></circle>')
+    dx, dy = sx(net.depot[0]), sy(net.depot[1])
+    parts.append(f'<rect x="{dx - 5:.1f}" y="{dy - 5:.1f}" width="10" '
+                 f'height="10" fill="{INK_PRIMARY}">'
+                 f'<title>depot</title></rect>')
+
+    # Legend + caption.
+    ly = height - legend_h + 16
+    entries = [(PATH_COLOR, "flight path / hover"),
+               (FULL_COLOR, "collected"),
+               (PARTIAL_COLOR, "partial"),
+               (EMPTY_COLOR, "uncollected")]
+    x = margin
+    for color, label in entries:
+        parts.append(f'<circle cx="{x + 5}" cy="{ly - 4}" r="5" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{x + 14}" y="{ly}" font-size="11" '
+                     f'fill="{INK_PRIMARY}">{html.escape(label)}</text>')
+        x += 14 + 8 * len(label) + 18
+    caption = (f"{tour.method}: {tour.collected_volume / 1000:.1f} GB, "
+               f"{tour.n_hovers} hovers, "
+               f"{tour.total_energy:.0f}/{tour.energy.capacity:.0f} J")
+    parts.append(f'<text x="{margin}" y="{ly + 20}" font-size="11" '
+                 f'fill="{INK_SECONDARY}">{html.escape(caption)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+__all__ = ["render_tour_svg"]

@@ -1,0 +1,46 @@
+"""Planar geometry substrate.
+
+Everything in the paper happens in a rectangular monitoring region: sensor
+nodes live on the ground plane, the UAV hovers at altitude ``H`` above grid
+squares of edge length ``delta``, and coverage is a disc of radius
+``R0 = sqrt(R**2 - H**2)`` projected onto the ground (paper §III-B).
+
+This subpackage provides:
+
+* vectorised Euclidean distance kernels (:mod:`repro.geometry.distance`),
+* the δ-grid partition of the region (:mod:`repro.geometry.grid`),
+* coverage queries between hovering locations and sensors
+  (:mod:`repro.geometry.coverage`), with a KD-tree fast path and a
+  brute-force reference used in tests,
+* the :class:`~repro.geometry.region.Region` rectangle abstraction.
+"""
+
+from repro.geometry.distance import (
+    euclidean,
+    pairwise_distances,
+    cross_distances,
+    path_length,
+    tour_length,
+)
+from repro.geometry.grid import GridPartition
+from repro.geometry.coverage import (
+    CoverageIndex,
+    coverage_sets_bruteforce,
+    coverage_matrix,
+    projected_radius,
+)
+from repro.geometry.region import Region
+
+__all__ = [
+    "euclidean",
+    "pairwise_distances",
+    "cross_distances",
+    "path_length",
+    "tour_length",
+    "GridPartition",
+    "CoverageIndex",
+    "coverage_sets_bruteforce",
+    "coverage_matrix",
+    "projected_radius",
+    "Region",
+]

@@ -1,0 +1,158 @@
+"""Coverage queries between hovering locations and ground sensors.
+
+The UAV at hovering location ``s_j = (x_j, y_j, H)`` covers sensor
+``v_i = (x_i, y_i, 0)`` iff the ground distance is at most
+``R0 = sqrt(R^2 - H^2)`` (paper Fig. 1(b)).  This module provides:
+
+* :func:`projected_radius` — the ``R0`` law,
+* :class:`CoverageIndex` — a KD-tree-backed index answering "which sensors
+  does each candidate cover" in bulk,
+* :func:`coverage_sets_bruteforce` — an O(n*m) reference implementation the
+  tests cross-check the index against,
+* :func:`coverage_matrix` — a dense boolean (candidates x sensors) matrix
+  used by the vectorised planners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import check_non_negative, check_positive, check_points_array
+
+
+def projected_radius(transmission_range: float, altitude: float) -> float:
+    """Ground-projected coverage radius ``R0 = sqrt(R**2 - H**2)``.
+
+    Parameters
+    ----------
+    transmission_range:
+        Sensor transmission range ``R`` in metres (> 0).
+    altitude:
+        UAV hovering altitude ``H`` in metres, with ``0 <= H <= R``
+        (paper §III-B requires ``H <= R``).
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``H > R`` — the UAV would be out of every sensor's range.
+    """
+    r = check_positive(transmission_range, "transmission_range")
+    h = check_non_negative(altitude, "altitude")
+    if h > r:
+        raise InvalidParameterError(
+            f"altitude H={h} exceeds transmission range R={r}; "
+            "the paper requires H <= R")
+    return math.sqrt(r * r - h * h)
+
+
+def coverage_sets_bruteforce(candidates, sensors, radius: float) -> List[np.ndarray]:
+    """Reference implementation: sensor indices covered by each candidate.
+
+    Pure O(n*m) broadcasting; used as the oracle in property tests.
+    Boundary convention: a sensor exactly at distance ``radius`` IS covered
+    (the paper uses ``<=`` throughout).
+    """
+    cands = check_points_array(candidates, "candidates")
+    sens = check_points_array(sensors, "sensors")
+    check_positive(radius, "radius")
+    if len(sens) == 0:
+        return [np.empty(0, dtype=int) for _ in range(len(cands))]
+    diff = cands[:, None, :] - sens[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    mask = d2 <= radius * radius
+    return [np.flatnonzero(row) for row in mask]
+
+
+def coverage_matrix(candidates, sensors, radius: float) -> np.ndarray:
+    """Dense boolean matrix ``cov[c, v] = (candidate c covers sensor v)``.
+
+    For the library's working sizes (tens of thousands of candidates x a few
+    hundred sensors) the dense boolean matrix is a few megabytes and lets the
+    planners compute all candidate awards with single matrix-vector products.
+    """
+    cands = check_points_array(candidates, "candidates")
+    sens = check_points_array(sensors, "sensors")
+    check_positive(radius, "radius")
+    cov = np.zeros((len(cands), len(sens)), dtype=bool)
+    if len(sens) == 0 or len(cands) == 0:
+        return cov
+    tree = cKDTree(sens)
+    neighbors = tree.query_ball_point(cands, r=radius)
+    for ci, idx in enumerate(neighbors):
+        if idx:
+            cov[ci, idx] = True
+    return cov
+
+
+class CoverageIndex:
+    """KD-tree index over sensors supporting bulk coverage queries.
+
+    Parameters
+    ----------
+    sensors:
+        ``(n, 2)`` ground coordinates of the sensors.
+    radius:
+        Coverage radius ``R0`` in metres.
+
+    Notes
+    -----
+    The index is immutable after construction; planners that need residual
+    data volumes track those separately and use the index only for geometry.
+    """
+
+    def __init__(self, sensors, radius: float) -> None:
+        self._sensors = check_points_array(sensors, "sensors")
+        self._radius = check_positive(radius, "radius")
+        self._tree = cKDTree(self._sensors) if len(self._sensors) else None
+
+    @property
+    def sensors(self) -> np.ndarray:
+        """The indexed sensor coordinates (read-only view)."""
+        v = self._sensors.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def radius(self) -> float:
+        """Coverage radius ``R0``."""
+        return self._radius
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def covered_by(self, candidates) -> List[np.ndarray]:
+        """Sorted sensor indices covered by each of ``(m, 2)`` *candidates*."""
+        cands = check_points_array(candidates, "candidates")
+        if self._tree is None:
+            return [np.empty(0, dtype=int) for _ in range(len(cands))]
+        hits = self._tree.query_ball_point(cands, r=self._radius)
+        return [np.asarray(sorted(h), dtype=int) for h in hits]
+
+    def covered_by_single(self, point) -> np.ndarray:
+        """Sensor indices covered from one hovering point ``(x, y)``."""
+        return self.covered_by(np.asarray(point, dtype=float).reshape(1, 2))[0]
+
+    def covering_candidates(self, candidates) -> np.ndarray:
+        """Boolean mask over *candidates*: covers at least one sensor."""
+        cands = check_points_array(candidates, "candidates")
+        if self._tree is None:
+            return np.zeros(len(cands), dtype=bool)
+        dist, _ = self._tree.query(cands, k=1)
+        return dist <= self._radius
+
+    def matrix(self, candidates) -> np.ndarray:
+        """Dense boolean coverage matrix for *candidates* (see module docs)."""
+        return coverage_matrix(candidates, self._sensors, self._radius)
+
+
+__all__ = [
+    "projected_radius",
+    "coverage_sets_bruteforce",
+    "coverage_matrix",
+    "CoverageIndex",
+]

@@ -1,0 +1,87 @@
+"""Vectorised Euclidean distance kernels.
+
+These are the hot inner loops of every planner in the library (TSP deltas,
+orienteering edge weights, coverage pre-filtering), so they are written as
+single numpy expressions over ``(n, 2)`` arrays — no Python-level loops —
+following the broadcasting/vectorisation idioms of the scientific-Python
+optimisation guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_points_array
+
+
+def euclidean(a, b) -> float:
+    """Euclidean distance between two planar points.
+
+    Parameters
+    ----------
+    a, b:
+        Length-2 sequences ``(x, y)``.
+    """
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    return float(np.hypot(ax - bx, ay - by))
+
+
+def pairwise_distances(points) -> np.ndarray:
+    """Full symmetric ``(n, n)`` distance matrix for ``(n, 2)`` *points*.
+
+    The result is exactly symmetric with a zero diagonal; the computation
+    uses broadcasting (one temporary of shape ``(n, n, 2)``) which is the
+    fastest pure-numpy formulation for the n ≤ a-few-thousand sizes this
+    library works at.
+    """
+    pts = check_points_array(points, "points")
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    # Enforce exact symmetry/zero diagonal despite floating-point rounding.
+    d = 0.5 * (d + d.T)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def cross_distances(a, b) -> np.ndarray:
+    """Distances between every point in *a* and every point in *b*.
+
+    Returns an ``(len(a), len(b))`` array.  Used e.g. to score all candidate
+    hovering locations against the nodes of the current tour in one shot.
+    """
+    pa = check_points_array(a, "a")
+    pb = check_points_array(b, "b")
+    diff = pa[:, None, :] - pb[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def path_length(points) -> float:
+    """Length of the open polyline visiting *points* in order."""
+    pts = check_points_array(points, "points")
+    if len(pts) < 2:
+        return 0.0
+    seg = np.diff(pts, axis=0)
+    return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+
+def tour_length(points) -> float:
+    """Length of the closed tour visiting *points* in order and returning.
+
+    A tour on fewer than two points has length zero.
+    """
+    pts = check_points_array(points, "points")
+    if len(pts) < 2:
+        return 0.0
+    rolled = np.roll(pts, -1, axis=0)
+    seg = rolled - pts
+    return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+
+__all__ = [
+    "euclidean",
+    "pairwise_distances",
+    "cross_distances",
+    "path_length",
+    "tour_length",
+]

@@ -1,0 +1,93 @@
+"""Rectangular monitoring region.
+
+The paper deploys sensors uniformly in a 1000 m x 1000 m square;
+:class:`Region` generalises that to any axis-aligned rectangle and provides
+the sampling and containment primitives the deployment generators and the
+grid partition build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_finite
+
+
+@dataclass(frozen=True)
+class Region:
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Attributes
+    ----------
+    xmin, xmax, ymin, ymax:
+        Rectangle bounds in metres. ``xmax > xmin`` and ``ymax > ymin``.
+    """
+
+    xmin: float = 0.0
+    xmax: float = 1000.0
+    ymin: float = 0.0
+    ymax: float = 1000.0
+
+    def __post_init__(self) -> None:
+        for name in ("xmin", "xmax", "ymin", "ymax"):
+            check_finite(getattr(self, name), name)
+        if self.xmax <= self.xmin or self.ymax <= self.ymin:
+            raise InvalidParameterError(
+                f"degenerate region: x=[{self.xmin}, {self.xmax}], "
+                f"y=[{self.ymin}, {self.ymax}]")
+
+    @classmethod
+    def square(cls, side: float, origin: tuple = (0.0, 0.0)) -> "Region":
+        """A ``side x side`` square with its lower-left corner at *origin*."""
+        ox, oy = float(origin[0]), float(origin[1])
+        return cls(ox, ox + float(side), oy, oy + float(side))
+
+    @property
+    def width(self) -> float:
+        """Extent along x (metres)."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Extent along y (metres)."""
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        """Region area in square metres."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point as a length-2 array."""
+        return np.array([(self.xmin + self.xmax) / 2.0,
+                         (self.ymin + self.ymax) / 2.0])
+
+    def contains(self, points) -> np.ndarray:
+        """Boolean mask of which ``(n, 2)`` *points* fall inside (inclusive)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        return ((pts[:, 0] >= self.xmin) & (pts[:, 0] <= self.xmax)
+                & (pts[:, 1] >= self.ymin) & (pts[:, 1] <= self.ymax))
+
+    def sample_uniform(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw *n* points uniformly at random from the region."""
+        if n < 0:
+            raise InvalidParameterError(f"n must be >= 0, got {n}")
+        rng = as_rng(seed)
+        xs = rng.uniform(self.xmin, self.xmax, size=n)
+        ys = rng.uniform(self.ymin, self.ymax, size=n)
+        return np.column_stack([xs, ys])
+
+    def clip(self, points) -> np.ndarray:
+        """Clamp ``(n, 2)`` points into the region (used by clustered sampling)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float)).copy()
+        pts[:, 0] = np.clip(pts[:, 0], self.xmin, self.xmax)
+        pts[:, 1] = np.clip(pts[:, 1], self.ymin, self.ymax)
+        return pts
+
+
+__all__ = ["Region"]

@@ -1,0 +1,46 @@
+"""IoT sensor-network substrate.
+
+The paper's ground truth is a sparse network of *aggregate sensor nodes*:
+ordinary IoT devices forward their readings to a neighbouring aggregate
+node, and only aggregate nodes hold data for the UAV to collect
+(paper §III-A).  This subpackage models both tiers:
+
+* :mod:`repro.network.device` — device dataclasses,
+* :mod:`repro.network.sensor_network` — the :class:`SensorNetwork`
+  container with the aggregate-node data volumes the planners consume,
+* :mod:`repro.network.generator` — seeded deployment generators (uniform,
+  clustered, grid) and data-volume distributions, including the paper's
+  default setting (500 nodes, 1000x1000 m, D_v ~ U[100, 1000] MB),
+* :mod:`repro.network.forwarding` — assignment of non-aggregate devices to
+  aggregate neighbours, which *produces* the D_v volumes from raw device
+  readings,
+* :mod:`repro.network.serialization` — JSON round-tripping for
+  reproducible experiment instances.
+"""
+
+from repro.network.device import AggregateNode, IoTDevice
+from repro.network.sensor_network import SensorNetwork
+from repro.network.generator import (
+    NetworkGenerator,
+    paper_default_network,
+    uniform_network,
+    clustered_network,
+    grid_network,
+)
+from repro.network.forwarding import assign_forwarding, aggregate_volumes
+from repro.network.serialization import network_to_dict, network_from_dict
+
+__all__ = [
+    "AggregateNode",
+    "IoTDevice",
+    "SensorNetwork",
+    "NetworkGenerator",
+    "paper_default_network",
+    "uniform_network",
+    "clustered_network",
+    "grid_network",
+    "assign_forwarding",
+    "aggregate_volumes",
+    "network_to_dict",
+    "network_from_dict",
+]

@@ -1,0 +1,97 @@
+"""Device-level dataclasses.
+
+Two tiers, per paper §III-A:
+
+* :class:`IoTDevice` — an ordinary sensing device that forwards its data to
+  a neighbouring aggregate node (it is never visited by the UAV directly);
+* :class:`AggregateNode` — a device chosen to store its own plus its
+  neighbours' data; these are the nodes the UAV collects from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_non_negative
+
+
+@dataclass
+class IoTDevice:
+    """An ordinary (non-aggregate) IoT sensing device.
+
+    Attributes
+    ----------
+    device_id:
+        Unique id within its network.
+    x, y:
+        Ground coordinates in metres.
+    data_volume:
+        Bytes of sensory data generated over the monitoring period
+        (forwarded to :attr:`assigned_aggregate` before the UAV flies).
+    assigned_aggregate:
+        Id of the aggregate node storing this device's data, or ``None``
+        if no aggregate node is within transmission range (the data is
+        then unreachable — see :func:`repro.network.forwarding.assign_forwarding`).
+    """
+
+    device_id: int
+    x: float
+    y: float
+    data_volume: float = 0.0
+    assigned_aggregate: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_finite(self.x, "x")
+        check_finite(self.y, "y")
+        check_non_negative(self.data_volume, "data_volume")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Ground position as a length-2 array."""
+        return np.array([self.x, self.y])
+
+
+@dataclass
+class AggregateNode:
+    """An aggregate sensor node — a UAV collection target.
+
+    Attributes
+    ----------
+    node_id:
+        Unique id within its network (also its index in
+        :attr:`repro.network.SensorNetwork.positions`).
+    x, y:
+        Ground coordinates in metres.
+    own_volume:
+        Bytes of the node's own sensory data.
+    forwarded_volume:
+        Bytes forwarded from neighbouring non-aggregate devices.
+    """
+
+    node_id: int
+    x: float
+    y: float
+    own_volume: float = 0.0
+    forwarded_volume: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_finite(self.x, "x")
+        check_finite(self.y, "y")
+        check_non_negative(self.own_volume, "own_volume")
+        check_non_negative(self.forwarded_volume, "forwarded_volume")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Ground position as a length-2 array."""
+        return np.array([self.x, self.y])
+
+    @property
+    def data_volume(self) -> float:
+        """Total stored volume ``D_v`` = own + forwarded (bytes)."""
+        return self.own_volume + self.forwarded_volume
+
+
+__all__ = ["IoTDevice", "AggregateNode"]

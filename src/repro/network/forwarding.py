@@ -1,0 +1,141 @@
+"""Two-tier forwarding: non-aggregate devices → aggregate nodes.
+
+Paper §III-A: an IoT device that is not an aggregate node forwards its
+sensory data to one neighbouring aggregate node (any one, if several are in
+range).  This module implements that assignment and the resulting
+aggregate-node volumes ``D_v`` = own data + forwarded data.
+
+The planners only ever see the aggregated volumes, but modelling the tier
+explicitly lets the examples build realistic instances (e.g. hundreds of
+meters feeding a few dozen collectors) and lets tests assert conservation:
+no data is created or destroyed by forwarding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.network.device import IoTDevice
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import check_points_array, check_positive
+
+
+def assign_forwarding(device_positions, aggregate_positions,
+                      comm_range: float, *,
+                      policy: str = "nearest") -> np.ndarray:
+    """Assign each device to an aggregate node within *comm_range*.
+
+    Parameters
+    ----------
+    device_positions:
+        ``(m, 2)`` coordinates of non-aggregate devices.
+    aggregate_positions:
+        ``(n, 2)`` coordinates of aggregate nodes.
+    comm_range:
+        Device transmission range in metres.
+    policy:
+        ``"nearest"`` — each device picks its nearest in-range aggregate
+        node (minimises device transmit energy, the sensible default);
+        ``"first"`` — picks the lowest-indexed in-range node (models the
+        paper's "choose one of them" arbitrarily).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``m`` integer array: assigned aggregate index, or ``-1``
+        when no aggregate node is in range (that device's data is
+        unreachable and will not appear in any ``D_v``).
+    """
+    devices = check_points_array(device_positions, "device_positions")
+    aggregates = check_points_array(aggregate_positions, "aggregate_positions")
+    check_positive(comm_range, "comm_range")
+    if policy not in ("nearest", "first"):
+        raise InvalidParameterError(f"unknown forwarding policy: {policy!r}")
+    m = len(devices)
+    out = np.full(m, -1, dtype=int)
+    if m == 0 or len(aggregates) == 0:
+        return out
+    tree = cKDTree(aggregates)
+    if policy == "nearest":
+        dist, idx = tree.query(devices, k=1)
+        in_range = dist <= comm_range
+        out[in_range] = idx[in_range]
+    else:  # "first"
+        hits = tree.query_ball_point(devices, r=comm_range)
+        for i, h in enumerate(hits):
+            if h:
+                out[i] = min(h)
+    return out
+
+
+def aggregate_volumes(own_volumes, device_volumes, assignment,
+                      n_aggregates: Optional[int] = None) -> np.ndarray:
+    """Total stored volume per aggregate node after forwarding.
+
+    ``D_v = own_volumes[v] + sum of device_volumes forwarded to v``.
+    Devices with assignment ``-1`` contribute nothing.
+
+    Parameters
+    ----------
+    own_volumes:
+        Length-``n`` own data of each aggregate node (MB).
+    device_volumes:
+        Length-``m`` data of each non-aggregate device (MB).
+    assignment:
+        Length-``m`` output of :func:`assign_forwarding`.
+    n_aggregates:
+        Override for ``n`` (defaults to ``len(own_volumes)``).
+    """
+    own = np.asarray(own_volumes, dtype=float)
+    dev = np.asarray(device_volumes, dtype=float)
+    assign = np.asarray(assignment, dtype=int)
+    if dev.shape != assign.shape:
+        raise InvalidParameterError(
+            f"device_volumes and assignment must have equal length, "
+            f"got {dev.shape} vs {assign.shape}")
+    n = int(n_aggregates) if n_aggregates is not None else len(own)
+    if len(own) != n:
+        raise InvalidParameterError(
+            f"own_volumes has length {len(own)}, expected {n}")
+    if len(assign) and assign.max(initial=-1) >= n:
+        raise InvalidParameterError("assignment refers to a nonexistent aggregate")
+    total = own.copy()
+    reachable = assign >= 0
+    if reachable.any():
+        np.add.at(total, assign[reachable], dev[reachable])
+    return total
+
+
+def build_two_tier_network(aggregate_positions, own_volumes,
+                           device_positions, device_volumes,
+                           comm_range: float, depot,
+                           *, region=None, policy: str = "nearest",
+                           name: str = "") -> Tuple[SensorNetwork, List[IoTDevice]]:
+    """Construct a :class:`SensorNetwork` from an explicit two-tier deployment.
+
+    Returns the network (whose ``volumes`` include forwarded data) and the
+    list of :class:`IoTDevice` records with their assignments, so callers
+    can inspect which devices were unreachable.
+    """
+    assignment = assign_forwarding(device_positions, aggregate_positions,
+                                   comm_range, policy=policy)
+    volumes = aggregate_volumes(own_volumes, device_volumes, assignment,
+                                n_aggregates=len(aggregate_positions))
+    devices = [
+        IoTDevice(device_id=i,
+                  x=float(device_positions[i][0]), y=float(device_positions[i][1]),
+                  data_volume=float(device_volumes[i]),
+                  assigned_aggregate=int(a) if a >= 0 else None)
+        for i, a in enumerate(assignment)
+    ]
+    net = SensorNetwork(positions=np.asarray(aggregate_positions, dtype=float),
+                        volumes=volumes, depot=np.asarray(depot, dtype=float),
+                        region=region, devices=devices, name=name or "two-tier")
+    return net, devices
+
+
+__all__ = ["assign_forwarding", "aggregate_volumes", "build_two_tier_network"]

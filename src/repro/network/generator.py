@@ -1,0 +1,155 @@
+"""Seeded deployment generators.
+
+The paper's default instance is 500 aggregate nodes uniformly deployed in a
+1000 m x 1000 m square with ``D_v ~ U[100, 1000] MB``
+(:func:`paper_default_network`).  For the example applications and for
+robustness testing we also provide clustered (smart-city districts) and
+regular-grid (metering) deployments, all driven by the shared
+:class:`NetworkGenerator` so every instance is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.region import Region
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_integer, check_non_negative, check_positive
+
+#: Paper §VII-A default data-volume bounds, in MB.
+PAPER_VOLUME_RANGE: Tuple[float, float] = (100.0, 1000.0)
+
+
+def _uniform_volumes(rng: np.random.Generator, n: int,
+                     low: float, high: float) -> np.ndarray:
+    if high < low:
+        raise InvalidParameterError(
+            f"volume range is inverted: [{low}, {high}]")
+    return rng.uniform(low, high, size=n)
+
+
+@dataclass
+class NetworkGenerator:
+    """Factory for reproducible random :class:`SensorNetwork` instances.
+
+    Attributes
+    ----------
+    region:
+        Deployment rectangle.
+    volume_range:
+        ``(low, high)`` bounds of the uniform ``D_v`` distribution, MB.
+    depot:
+        Depot coordinates; defaults to the region centre (the natural
+        choice for a closed tour and what makes small-budget tours viable).
+    """
+
+    region: Region
+    volume_range: Tuple[float, float] = PAPER_VOLUME_RANGE
+    depot: Optional[Tuple[float, float]] = None
+
+    def _depot(self) -> np.ndarray:
+        if self.depot is None:
+            return self.region.center
+        return np.asarray(self.depot, dtype=float).reshape(2)
+
+    def uniform(self, n: int, seed: SeedLike = None, name: str = "") -> SensorNetwork:
+        """*n* nodes i.i.d. uniform over the region (paper default)."""
+        n = check_integer(n, "n", minimum=0)
+        rng = as_rng(seed)
+        pos = self.region.sample_uniform(n, rng)
+        vol = _uniform_volumes(rng, n, *self.volume_range)
+        return SensorNetwork(positions=pos, volumes=vol, depot=self._depot(),
+                             region=self.region, name=name or f"uniform-{n}")
+
+    def clustered(self, n: int, n_clusters: int = 5, spread: float = 60.0,
+                  seed: SeedLike = None, name: str = "") -> SensorNetwork:
+        """*n* nodes in Gaussian clusters (smart-city district scenario).
+
+        Cluster centres are uniform over the region; nodes are normal with
+        standard deviation *spread* around their centre, clipped to the
+        region.  Nodes are dealt to clusters round-robin so cluster sizes
+        differ by at most one.
+        """
+        n = check_integer(n, "n", minimum=0)
+        n_clusters = check_integer(n_clusters, "n_clusters", minimum=1)
+        check_positive(spread, "spread")
+        rng = as_rng(seed)
+        centers = self.region.sample_uniform(n_clusters, rng)
+        assignment = np.arange(n) % n_clusters
+        offsets = rng.normal(0.0, spread, size=(n, 2))
+        pos = self.region.clip(centers[assignment] + offsets)
+        vol = _uniform_volumes(rng, n, *self.volume_range)
+        return SensorNetwork(positions=pos, volumes=vol, depot=self._depot(),
+                             region=self.region,
+                             name=name or f"clustered-{n}x{n_clusters}")
+
+    def grid(self, rows: int, cols: int, jitter: float = 0.0,
+             seed: SeedLike = None, name: str = "") -> SensorNetwork:
+        """``rows x cols`` nodes on a regular lattice with optional jitter.
+
+        Models a planned deployment such as utility meters along streets.
+        *jitter* is the standard deviation (metres) of an optional Gaussian
+        perturbation; positions are clipped to the region.
+        """
+        rows = check_integer(rows, "rows", minimum=1)
+        cols = check_integer(cols, "cols", minimum=1)
+        check_non_negative(jitter, "jitter")
+        rng = as_rng(seed)
+        # Lattice points at cell centres so no node sits on the boundary.
+        xs = self.region.xmin + (np.arange(cols) + 0.5) * self.region.width / cols
+        ys = self.region.ymin + (np.arange(rows) + 0.5) * self.region.height / rows
+        gx, gy = np.meshgrid(xs, ys)
+        pos = np.column_stack([gx.ravel(), gy.ravel()])
+        if jitter > 0:
+            pos = self.region.clip(pos + rng.normal(0.0, jitter, size=pos.shape))
+        vol = _uniform_volumes(rng, rows * cols, *self.volume_range)
+        return SensorNetwork(positions=pos, volumes=vol, depot=self._depot(),
+                             region=self.region, name=name or f"grid-{rows}x{cols}")
+
+
+def paper_default_network(n: int = 500, side: float = 1000.0,
+                          seed: SeedLike = None) -> SensorNetwork:
+    """The paper's §VII-A instance: *n* uniform nodes in a *side*² square.
+
+    ``D_v ~ U[100, 1000] MB``; depot at the region centre.
+    """
+    gen = NetworkGenerator(Region.square(side))
+    return gen.uniform(n, seed=seed, name=f"paper-default-{n}")
+
+
+def uniform_network(n: int, region: Optional[Region] = None,
+                    seed: SeedLike = None, **kwargs) -> SensorNetwork:
+    """Convenience wrapper: uniform deployment over *region* (default paper square)."""
+    gen = NetworkGenerator(region or Region.square(1000.0), **kwargs)
+    return gen.uniform(n, seed=seed)
+
+
+def clustered_network(n: int, n_clusters: int = 5, region: Optional[Region] = None,
+                      spread: float = 60.0, seed: SeedLike = None,
+                      **kwargs) -> SensorNetwork:
+    """Convenience wrapper: clustered deployment (see :meth:`NetworkGenerator.clustered`)."""
+    gen = NetworkGenerator(region or Region.square(1000.0), **kwargs)
+    return gen.clustered(n, n_clusters=n_clusters, spread=spread, seed=seed)
+
+
+def grid_network(rows: int, cols: int, region: Optional[Region] = None,
+                 jitter: float = 0.0, seed: SeedLike = None,
+                 **kwargs) -> SensorNetwork:
+    """Convenience wrapper: lattice deployment (see :meth:`NetworkGenerator.grid`)."""
+    gen = NetworkGenerator(region or Region.square(1000.0), **kwargs)
+    return gen.grid(rows, cols, jitter=jitter, seed=seed)
+
+
+__all__ = [
+    "PAPER_VOLUME_RANGE",
+    "NetworkGenerator",
+    "paper_default_network",
+    "uniform_network",
+    "clustered_network",
+    "grid_network",
+]

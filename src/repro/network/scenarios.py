@@ -1,0 +1,136 @@
+"""Named canonical scenarios.
+
+The paper evaluates on uniform deployments only; real adopters care how
+the planners behave on structured geographies.  Each scenario here is a
+seeded, documented instance family used by the examples, the robustness
+benches, and the ablation studies:
+
+* ``sparse_rural``      — few, far-apart, high-volume nodes (travel-bound),
+* ``dense_urban``       — many overlapping nodes (hover-bound, coverage
+  overlap is the whole game),
+* ``corridor``          — nodes along a road/pipeline; tours degenerate to
+  out-and-back sweeps,
+* ``hotspot``           — one dense cluster plus scattered outliers; the
+  classic ratio-greedy trap,
+* ``ring``              — nodes on an annulus around the depot; TSP
+  structure is trivial, the hover/travel split is not.
+
+All scenarios use the paper's volume distribution unless noted, and a
+depot at the region centre.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.geometry.region import Region
+from repro.network.generator import NetworkGenerator
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_integer
+
+
+def sparse_rural(n: int = 40, seed: SeedLike = None) -> SensorNetwork:
+    """Few, far-apart, high-volume nodes in a 2 km square (travel-bound)."""
+    gen = NetworkGenerator(Region.square(2000.0),
+                           volume_range=(500.0, 2000.0))
+    net = gen.uniform(n, seed=seed, name=f"sparse-rural-{n}")
+    return net
+
+
+def dense_urban(n: int = 200, seed: SeedLike = None) -> SensorNetwork:
+    """Dense 600 m square; heavy coverage overlap (hover-bound)."""
+    gen = NetworkGenerator(Region.square(600.0),
+                           volume_range=(100.0, 1000.0))
+    return gen.uniform(n, seed=seed, name=f"dense-urban-{n}")
+
+
+def corridor(n: int = 60, length: float = 3000.0, width: float = 120.0,
+             seed: SeedLike = None) -> SensorNetwork:
+    """Nodes along a road/pipeline corridor; depot at one end.
+
+    The region is a thin strip; the depot sits at the west end, so every
+    tour is an out-and-back sweep and the budget translates directly into
+    a reachable prefix of the corridor.
+    """
+    check_integer(n, "n", minimum=0)
+    rng = as_rng(seed)
+    region = Region(0.0, length, 0.0, width)
+    xs = rng.uniform(0.0, length, n)
+    ys = rng.uniform(0.0, width, n)
+    volumes = rng.uniform(100.0, 1000.0, n)
+    return SensorNetwork(positions=np.column_stack([xs, ys]),
+                         volumes=volumes,
+                         depot=np.array([0.0, width / 2.0]),
+                         region=region, name=f"corridor-{n}")
+
+
+def hotspot(n: int = 80, hotspot_fraction: float = 0.6,
+            seed: SeedLike = None) -> SensorNetwork:
+    """One dense high-value cluster plus scattered outliers.
+
+    The ratio-greedy trap: the hotspot's first hovering location has an
+    enormous award, but committing the whole budget there strands the
+    outliers.  ``hotspot_fraction`` of the nodes are in the cluster.
+    """
+    check_integer(n, "n", minimum=0)
+    if not (0.0 <= hotspot_fraction <= 1.0):
+        raise InvalidParameterError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}")
+    rng = as_rng(seed)
+    region = Region.square(1000.0)
+    n_hot = int(round(n * hotspot_fraction))
+    hot = rng.normal([250.0, 250.0], 40.0, size=(n_hot, 2))
+    rest = region.sample_uniform(n - n_hot, rng)
+    pos = region.clip(np.vstack([hot, rest])) if n else np.empty((0, 2))
+    volumes = rng.uniform(100.0, 1000.0, n)
+    return SensorNetwork(positions=pos, volumes=volumes,
+                         depot=region.center, region=region,
+                         name=f"hotspot-{n}")
+
+
+def ring(n: int = 50, radius: float = 400.0, jitter: float = 25.0,
+         seed: SeedLike = None) -> SensorNetwork:
+    """Nodes on an annulus around the depot.
+
+    Every node is equidistant from the depot, so pure distance heuristics
+    are blind here; what matters is committing to an arc and the
+    hover/travel split along it.
+    """
+    check_integer(n, "n", minimum=0)
+    rng = as_rng(seed)
+    region = Region.square(1000.0)
+    angles = rng.uniform(0, 2 * np.pi, n)
+    radii = radius + rng.normal(0, jitter, n)
+    pos = region.clip(np.column_stack([
+        500.0 + radii * np.cos(angles),
+        500.0 + radii * np.sin(angles)]))
+    volumes = rng.uniform(100.0, 1000.0, n)
+    return SensorNetwork(positions=pos, volumes=volumes,
+                         depot=region.center, region=region,
+                         name=f"ring-{n}")
+
+
+#: Registry for CLIs and sweep drivers.
+SCENARIOS: Dict[str, Callable[..., SensorNetwork]] = {
+    "sparse_rural": sparse_rural,
+    "dense_urban": dense_urban,
+    "corridor": corridor,
+    "hotspot": hotspot,
+    "ring": ring,
+}
+
+
+def make_scenario(name: str, seed: SeedLike = None, **kwargs) -> SensorNetwork:
+    """Instantiate a named scenario (see :data:`SCENARIOS`)."""
+    if name not in SCENARIOS:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}")
+    return SCENARIOS[name](seed=seed, **kwargs)
+
+
+__all__ = ["SCENARIOS", "make_scenario", "sparse_rural", "dense_urban",
+           "corridor", "hotspot", "ring"]

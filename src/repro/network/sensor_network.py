@@ -1,0 +1,131 @@
+"""The :class:`SensorNetwork` container.
+
+Unit conventions used throughout the library (matching the paper's
+evaluation settings):
+
+* distance — metres
+* data volume — megabytes (MB)
+* bandwidth — MB/s
+* time — seconds
+* energy — joules
+
+A :class:`SensorNetwork` is the immutable problem input shared by all
+planners: aggregate-node positions and stored volumes ``D_v``, the depot,
+and the region the δ-grid partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.region import Region
+from repro.network.device import AggregateNode, IoTDevice
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import check_points_array
+
+
+@dataclass
+class SensorNetwork:
+    """An aggregate sensor network ``G = (V ∪ {d}, E)`` (paper §III-A).
+
+    Attributes
+    ----------
+    positions:
+        ``(n, 2)`` ground coordinates of the aggregate nodes ``V``.
+    volumes:
+        Length-``n`` stored data volumes ``D_v`` in MB (>= 0).
+    depot:
+        Length-2 depot coordinates ``d`` (UAV start/end, recharge point).
+    region:
+        The monitoring rectangle (defaults to the bounding region implied
+        by the positions when not given).
+    devices:
+        Optional list of the underlying non-aggregate :class:`IoTDevice`
+        objects whose forwarded data produced ``volumes`` — kept for
+        provenance/analysis; the planners never read it.
+    name:
+        Optional human-readable instance label.
+    """
+
+    positions: np.ndarray
+    volumes: np.ndarray
+    depot: np.ndarray
+    region: Optional[Region] = None
+    devices: Optional[List[IoTDevice]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.positions = check_points_array(self.positions, "positions")
+        self.volumes = np.asarray(self.volumes, dtype=float)
+        if self.volumes.ndim != 1 or len(self.volumes) != len(self.positions):
+            raise InvalidParameterError(
+                f"volumes must be a 1-D array of length {len(self.positions)}, "
+                f"got shape {self.volumes.shape}")
+        if not np.isfinite(self.volumes).all() or (self.volumes < 0).any():
+            raise InvalidParameterError("volumes must be finite and >= 0")
+        self.depot = np.asarray(self.depot, dtype=float).reshape(2)
+        if not np.isfinite(self.depot).all():
+            raise InvalidParameterError("depot coordinates must be finite")
+        if self.region is None:
+            self.region = self._implied_region()
+
+    def _implied_region(self) -> Region:
+        """Smallest padded rectangle containing all nodes and the depot."""
+        pts = np.vstack([self.positions, self.depot[None, :]]) if len(self.positions) \
+            else self.depot[None, :]
+        pad = 1.0
+        return Region(float(pts[:, 0].min() - pad), float(pts[:, 0].max() + pad),
+                      float(pts[:, 1].min() - pad), float(pts[:, 1].max() + pad))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of aggregate nodes ``|V|``."""
+        return len(self.positions)
+
+    @property
+    def total_volume(self) -> float:
+        """Total stored data ``sum_v D_v`` in MB — upper bound on any tour."""
+        return float(self.volumes.sum())
+
+    def node(self, idx: int) -> AggregateNode:
+        """Materialise node *idx* as an :class:`AggregateNode` view."""
+        if not (0 <= idx < self.n_nodes):
+            raise InvalidParameterError(
+                f"node index {idx} out of range [0, {self.n_nodes})")
+        return AggregateNode(node_id=idx, x=float(self.positions[idx, 0]),
+                             y=float(self.positions[idx, 1]),
+                             own_volume=float(self.volumes[idx]))
+
+    def subset(self, indices: Sequence[int]) -> "SensorNetwork":
+        """A new network restricted to the given node *indices*.
+
+        Useful for ablations ("what if only the densest cluster existed?").
+        """
+        idx = np.asarray(indices, dtype=int)
+        if len(idx) and ((idx < 0).any() or (idx >= self.n_nodes).any()):
+            raise InvalidParameterError("subset indices out of range")
+        return SensorNetwork(positions=self.positions[idx].copy(),
+                             volumes=self.volumes[idx].copy(),
+                             depot=self.depot.copy(),
+                             region=self.region,
+                             name=f"{self.name}/subset" if self.name else "subset")
+
+    def with_volumes(self, volumes) -> "SensorNetwork":
+        """A copy of this network with replaced data volumes."""
+        return SensorNetwork(positions=self.positions.copy(),
+                             volumes=np.asarray(volumes, dtype=float).copy(),
+                             depot=self.depot.copy(),
+                             region=self.region,
+                             devices=self.devices,
+                             name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (f"SensorNetwork({label} n={self.n_nodes}, "
+                f"total={self.total_volume:.1f} MB, depot={tuple(self.depot)})")
+
+
+__all__ = ["SensorNetwork"]

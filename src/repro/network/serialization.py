@@ -1,0 +1,85 @@
+"""JSON (de)serialisation of :class:`~repro.network.SensorNetwork`.
+
+Experiment instances are fully determined by their seed, but persisting the
+materialised instance makes runs auditable and lets third parties rerun the
+planners on byte-identical inputs.  The schema is a flat JSON object with a
+``schema`` version tag for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.geometry.region import Region
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+
+SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: SensorNetwork) -> Dict[str, Any]:
+    """Serialise *network* to a JSON-compatible dict (devices omitted)."""
+    region = network.region
+    assert region is not None  # __post_init__ guarantees it
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": network.name,
+        "positions": network.positions.tolist(),
+        "volumes": network.volumes.tolist(),
+        "depot": network.depot.tolist(),
+        "region": [region.xmin, region.xmax, region.ymin, region.ymax],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> SensorNetwork:
+    """Inverse of :func:`network_to_dict`.
+
+    Raises
+    ------
+    InvalidParameterError
+        On a missing/unknown schema tag or malformed payload.
+    """
+    if not isinstance(data, dict):
+        raise InvalidParameterError("network payload must be a dict")
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"unsupported network schema {schema!r} (expected {SCHEMA_VERSION})")
+    try:
+        region_bounds = data["region"]
+        region = Region(*[float(b) for b in region_bounds])
+        return SensorNetwork(
+            positions=np.asarray(data["positions"], dtype=float),
+            volumes=np.asarray(data["volumes"], dtype=float),
+            depot=np.asarray(data["depot"], dtype=float),
+            region=region,
+            name=str(data.get("name", "")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise InvalidParameterError(f"malformed network payload: {exc}") from exc
+
+
+def network_to_json(network: SensorNetwork, *, indent: int | None = None) -> str:
+    """Serialise *network* to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent)
+
+
+def network_from_json(text: str) -> SensorNetwork:
+    """Parse a network from a JSON string produced by :func:`network_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"invalid JSON: {exc}") from exc
+    return network_from_dict(payload)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+]

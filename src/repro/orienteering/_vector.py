@@ -1,0 +1,200 @@
+"""Vectorised kernels shared by the orienteering heuristics.
+
+All heavy per-candidate work — insertion deltas, ratio scoring, conflict
+masking — is expressed as numpy operations over the instance's cost
+matrix, so the greedy constructor and the local-search passes cost
+O(n * |tour|) numpy work per step instead of O(n * |tour|) Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.orienteering.problem import OrienteeringInstance
+
+
+def all_insertion_deltas(tour: np.ndarray,
+                         costs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cheapest insertion delta of *every* node into the closed *tour*.
+
+    Returns ``(deltas, positions)`` of length ``n`` each; ``positions[v]``
+    is the tour index before which node ``v`` would be inserted.  Entries
+    for nodes already on the tour are meaningless (callers mask them).
+    """
+    n = len(costs)
+    k = len(tour)
+    if k == 0:
+        return np.zeros(n), np.zeros(n, dtype=int)
+    if k == 1:
+        return 2.0 * costs[tour[0]], np.ones(n, dtype=int)
+    nxt = np.roll(tour, -1)
+    edge = costs[tour, nxt]                        # (k,)
+    # cand[v, i] = c(tour_i, v) + c(v, tour_{i+1}) - c(tour_i, tour_{i+1})
+    cand = costs[:, tour] + costs[:, nxt] - edge[None, :]
+    best = np.argmin(cand, axis=1)
+    deltas = cand[np.arange(n), best]
+    positions = (best + 1) % k
+    positions[positions == 0] = k
+    return deltas, positions
+
+
+def conflict_neighbors(instance: OrienteeringInstance) -> Optional[List[np.ndarray]]:
+    """Per-node arrays of conflicting nodes, or None when unconstrained.
+
+    The instance precomputes these at construction, so this is O(1).
+    """
+    if not instance.has_conflicts:
+        return None
+    return [instance.neighbors_of(v) for v in range(instance.n_nodes)]
+
+
+def greedy_fill(instance: OrienteeringInstance, tour: np.ndarray, *,
+                rng: Optional[np.random.Generator] = None,
+                rcl_size: int = 1,
+                blocked: Optional[np.ndarray] = None) -> np.ndarray:
+    """Insert feasible nodes by best award/delta ratio until none fits.
+
+    Parameters
+    ----------
+    instance:
+        The orienteering instance.
+    tour:
+        Starting tour (depot-first); not modified.
+    rng, rcl_size:
+        When *rng* is given, each step picks uniformly among the top
+        ``rcl_size`` candidates instead of the single best (GRASP).
+    blocked:
+        Optional starting block-mask (nodes never to insert); conflict
+        blocking is applied on top.
+
+    Returns
+    -------
+    numpy.ndarray
+        The grown tour.
+    """
+    n = instance.n_nodes
+    costs = instance.costs
+    budget = instance.budget
+    awards = instance.awards
+    neigh = conflict_neighbors(instance)
+
+    cur = np.asarray(tour, dtype=int).copy()
+    cost = instance.tour_cost(cur)
+    unavailable = np.zeros(n, dtype=bool)
+    if blocked is not None:
+        unavailable |= np.asarray(blocked, dtype=bool)
+    unavailable[cur] = True
+    unavailable[awards <= 0] = True
+    if neigh is not None:
+        for v in cur:
+            nb = neigh[int(v)]
+            if len(nb):
+                unavailable[nb] = True
+
+    while True:
+        if unavailable.all():
+            break
+        deltas, positions = all_insertion_deltas(cur, costs)
+        feasible = ~unavailable & (cost + deltas <= budget + 1e-9)
+        if not feasible.any():
+            break
+        with np.errstate(divide="ignore"):
+            ratio = np.where(feasible,
+                             np.where(deltas > 0, awards / np.maximum(deltas, 1e-300),
+                                      np.inf),
+                             -np.inf)
+        if rng is None or rcl_size <= 1:
+            v = int(np.argmax(ratio))
+        else:
+            k = min(rcl_size, int(feasible.sum()))
+            top = np.argpartition(-ratio, k - 1)[:k]
+            top = top[np.isfinite(ratio[top]) | (ratio[top] == np.inf)]
+            v = int(top[int(rng.integers(0, len(top)))]) if len(top) else int(np.argmax(ratio))
+        pos = int(positions[v])
+        cur = np.insert(cur, pos if pos != 0 else len(cur), v)
+        cost += float(deltas[v])
+        unavailable[v] = True
+        if neigh is not None and len(neigh[v]):
+            unavailable[neigh[v]] = True
+    return cur
+
+
+def swap_pass(instance: OrienteeringInstance, tour: np.ndarray) -> np.ndarray:
+    """One improving same-position swap (on-tour node ↔ off-tour node).
+
+    For every tour position ``i`` (except the depot) and every off-tour
+    candidate ``v``, consider replacing ``tour[i]`` by ``v`` between its
+    current neighbours.  Accept the best swap that increases award and
+    stays within budget; return the (possibly unchanged) tour.
+    """
+    n = instance.n_nodes
+    costs = instance.costs
+    k = len(tour)
+    if k < 2:
+        return tour
+    cost = instance.tour_cost(tour)
+    awards = instance.awards
+    neigh = conflict_neighbors(instance)
+
+    off = np.ones(n, dtype=bool)
+    off[tour] = False
+
+    best_gain, best_i, best_v, best_delta = 0.0, -1, -1, 0.0
+    for i in range(1, k):
+        u = int(tour[i])
+        prev_node = int(tour[i - 1])
+        next_node = int(tour[(i + 1) % k])
+        base = costs[prev_node, u] + costs[u, next_node]
+        new_cost_v = cost - base + costs[prev_node, :] + costs[:, next_node]
+        gain_v = awards - awards[u]
+        ok = off & (gain_v > 1e-12) & (new_cost_v <= instance.budget + 1e-9)
+        if neigh is not None and ok.any():
+            # A replacement must not conflict with the rest of the tour.
+            rest = set(int(x) for x in tour) - {u}
+            for v in np.flatnonzero(ok):
+                if any(int(c) in rest for c in neigh[int(v)]):
+                    ok[v] = False
+        if not ok.any():
+            continue
+        cand = np.where(ok, gain_v, -np.inf)
+        v = int(np.argmax(cand))
+        if gain_v[v] > best_gain + 1e-12:
+            best_gain = float(gain_v[v])
+            best_i, best_v = i, v
+            best_delta = float(new_cost_v[v] - cost)
+    if best_i >= 0:
+        out = tour.copy()
+        out[best_i] = best_v
+        return out
+    return tour
+
+
+def drop_worst(instance: OrienteeringInstance,
+               tour: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Remove the node with the worst award-per-energy-saved ratio.
+
+    Returns ``(reduced_tour, removed_node)``; the depot is never removed.
+    A tour with only the depot is returned unchanged with ``removed = -1``.
+    """
+    k = len(tour)
+    if k < 2:
+        return tour, -1
+    costs = instance.costs
+    awards = instance.awards
+    prev_nodes = np.roll(tour, 1)
+    next_nodes = np.roll(tour, -1)
+    saved = (costs[prev_nodes, tour] + costs[tour, next_nodes]
+             - costs[prev_nodes, next_nodes])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(saved > 1e-12, awards[tour] / saved, np.inf)
+    ratio[0] = np.inf  # protect the depot
+    i = int(np.argmin(ratio))
+    if not np.isfinite(ratio[i]):
+        return tour, -1
+    return np.delete(tour, i), int(tour[i])
+
+
+__all__ = ["all_insertion_deltas", "conflict_neighbors", "greedy_fill",
+           "swap_pass", "drop_worst"]

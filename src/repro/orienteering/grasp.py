@@ -1,0 +1,69 @@
+"""GRASP metaheuristic for orienteering.
+
+Greedy Randomised Adaptive Search Procedure: *n_restarts* iterations of
+(randomised greedy construction → local search), keeping the best feasible
+solution found.  The first restart is always the *deterministic* greedy
+construction so GRASP provably never returns a worse solution than
+:func:`repro.orienteering.greedy.solve_greedy` followed by local search.
+
+This is the library's large-instance orienteering solver and the stand-in
+for the Bansal et al. 3-approximation (DESIGN.md substitution S1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orienteering.greedy import randomized_construct, solve_greedy
+from repro.orienteering.local_search import improve_solution
+from repro.orienteering.problem import (
+    OrienteeringInstance,
+    OrienteeringSolution,
+)
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_integer
+
+
+def solve_grasp(instance: OrienteeringInstance, *, n_restarts: int = 8,
+                rcl_size: int = 3, seed: SeedLike = None,
+                local_search: bool = True) -> OrienteeringSolution:
+    """Solve via GRASP.
+
+    Parameters
+    ----------
+    instance:
+        The orienteering instance.
+    n_restarts:
+        Total construction attempts (>= 1).  Restart 0 is deterministic
+        greedy; restarts 1.. are randomised.
+    rcl_size:
+        Restricted-candidate-list size for the randomised constructions.
+    seed:
+        RNG seed for reproducibility.
+    local_search:
+        Apply the add/drop/replace/2-opt polish after each construction.
+    """
+    n_restarts = check_integer(n_restarts, "n_restarts", minimum=1)
+    check_integer(rcl_size, "rcl_size", minimum=1)
+    rng = as_rng(seed)
+
+    best: OrienteeringSolution | None = None
+    for restart in range(n_restarts):
+        if restart == 0:
+            tour = solve_greedy(instance).tour
+        else:
+            tour = randomized_construct(instance, seed=rng, rcl_size=rcl_size)
+        if local_search:
+            sol = improve_solution(instance, tour)
+        else:
+            from repro.orienteering.problem import make_solution
+            sol = make_solution(instance, tour, "construct")
+        if best is None or sol.award > best.award + 1e-12 or (
+                abs(sol.award - best.award) <= 1e-12 and sol.cost < best.cost - 1e-9):
+            best = sol
+    assert best is not None
+    return OrienteeringSolution(tour=best.tour, award=best.award,
+                                cost=best.cost, method="grasp")
+
+
+__all__ = ["solve_grasp"]

@@ -1,0 +1,38 @@
+"""Deterministic greedy orienteering construction.
+
+Repeatedly inserts the node with the best award-per-marginal-cost ratio at
+its cheapest tour position, subject to the budget and conflict groups.
+This is both a fast standalone solver and the construction step the GRASP
+wrapper randomises.  The per-step work is fully vectorised
+(:mod:`repro.orienteering._vector`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orienteering._vector import greedy_fill
+from repro.orienteering.problem import (
+    OrienteeringInstance,
+    OrienteeringSolution,
+    make_solution,
+)
+from repro.utils.rng import SeedLike, as_rng
+
+
+def solve_greedy(instance: OrienteeringInstance) -> OrienteeringSolution:
+    """Pure deterministic greedy best-ratio insertion."""
+    start = np.array([instance.depot], dtype=int)
+    tour = greedy_fill(instance, start)
+    return make_solution(instance, tour, "greedy")
+
+
+def randomized_construct(instance: OrienteeringInstance,
+                         seed: SeedLike = None,
+                         rcl_size: int = 3) -> np.ndarray:
+    """One randomised greedy construction (used by GRASP)."""
+    start = np.array([instance.depot], dtype=int)
+    return greedy_fill(instance, start, rng=as_rng(seed), rcl_size=rcl_size)
+
+
+__all__ = ["solve_greedy", "randomized_construct"]

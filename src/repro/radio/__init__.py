@@ -1,0 +1,24 @@
+"""Radio / data-collection substrate.
+
+Paper §III-B: every aggregate node uploads at bandwidth ``B`` (150 MB/s in
+the evaluation) to the UAV, all covered nodes simultaneously on orthogonal
+OFDMA channels.  The model deliberately keeps the rate distance-independent
+(the paper argues the differences are negligible at low altitude), but an
+optional distance-dependent extension is provided for sensitivity studies.
+
+* :mod:`repro.radio.link` — :class:`RadioModel` (R, H, B, R0 law, upload
+  times) and the distance-dependent :class:`DistanceRateModel` extension,
+* :mod:`repro.radio.ofdma` — OFDMA channel book-keeping used by the
+  execution simulator to check the "simultaneous collection" assumption.
+"""
+
+from repro.radio.link import RadioModel, DistanceRateModel, PAPER_RADIO_MODEL
+from repro.radio.ofdma import OFDMAScheduler, ChannelAssignment
+
+__all__ = [
+    "RadioModel",
+    "DistanceRateModel",
+    "PAPER_RADIO_MODEL",
+    "OFDMAScheduler",
+    "ChannelAssignment",
+]

@@ -1,0 +1,109 @@
+"""OFDMA channel book-keeping.
+
+The paper's framework collects from all covered devices *simultaneously*
+by assigning each device an orthogonal OFDMA sub-channel [Mozaffari et al.].
+The planners take this for granted; the execution simulator uses
+:class:`OFDMAScheduler` to make the assumption checkable — it assigns
+channels at each hover and reports violations when the number of covered
+devices exceeds the available channel count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class ChannelAssignment:
+    """Channels assigned at one hover.
+
+    Attributes
+    ----------
+    hover_index:
+        Index of the hover within the mission.
+    device_to_channel:
+        Mapping sensor index -> channel number (0-based).
+    dropped:
+        Sensor indices that could not be assigned a channel (only non-empty
+        when the scheduler is non-strict and capacity was exceeded).
+    """
+
+    hover_index: int
+    device_to_channel: Dict[int, int]
+    dropped: List[int] = field(default_factory=list)
+
+    @property
+    def n_assigned(self) -> int:
+        """Number of devices that got a channel."""
+        return len(self.device_to_channel)
+
+
+class OFDMAScheduler:
+    """Assigns orthogonal sub-channels to covered devices at each hover.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of orthogonal sub-channels the UAV radio supports.  The
+        paper effectively assumes this is unbounded; pass a finite value
+        to stress the assumption.
+    strict:
+        When True, exceeding channel capacity raises; when False the excess
+        devices are reported in :attr:`ChannelAssignment.dropped` (lowest
+        sensor indices are served first, a deterministic tie-break).
+    """
+
+    def __init__(self, n_channels: int = 1024, *, strict: bool = True) -> None:
+        self._n_channels = check_integer(n_channels, "n_channels", minimum=1)
+        self._strict = strict
+        self._assignments: List[ChannelAssignment] = []
+
+    @property
+    def n_channels(self) -> int:
+        """Configured channel count."""
+        return self._n_channels
+
+    @property
+    def assignments(self) -> List[ChannelAssignment]:
+        """All assignments made so far (a copy)."""
+        return list(self._assignments)
+
+    @property
+    def max_concurrency(self) -> int:
+        """Largest number of simultaneously-served devices seen so far."""
+        if not self._assignments:
+            return 0
+        return max(a.n_assigned for a in self._assignments)
+
+    def assign(self, covered_devices: Sequence[int]) -> ChannelAssignment:
+        """Assign channels for one hover over *covered_devices*.
+
+        Raises
+        ------
+        InvalidParameterError
+            In strict mode when more devices are covered than channels exist.
+        """
+        devices = sorted(int(d) for d in covered_devices)
+        if len(set(devices)) != len(devices):
+            raise InvalidParameterError("covered_devices contains duplicates")
+        dropped: List[int] = []
+        if len(devices) > self._n_channels:
+            if self._strict:
+                raise InvalidParameterError(
+                    f"{len(devices)} devices covered but only "
+                    f"{self._n_channels} OFDMA channels available")
+            devices, dropped = devices[: self._n_channels], devices[self._n_channels:]
+        assignment = ChannelAssignment(
+            hover_index=len(self._assignments),
+            device_to_channel={d: ch for ch, d in enumerate(devices)},
+            dropped=dropped,
+        )
+        self._assignments.append(assignment)
+        return assignment
+
+
+__all__ = ["OFDMAScheduler", "ChannelAssignment"]

@@ -1,0 +1,35 @@
+"""Mission-execution simulator.
+
+Planners *claim* a tour collects some volume within the energy budget; this
+subpackage independently *executes* the tour: it flies each leg at the
+UAV's speed, debits the :class:`~repro.energy.EnergyLedger` per activity,
+assigns OFDMA channels at each hover, and uploads from every covered sensor
+at bandwidth ``B`` for exactly the planned sojourn.  The resulting
+:class:`~repro.sim.trace.MissionTrace` is compared against the planner's
+claims by :func:`~repro.sim.validate.cross_validate` — the library's
+end-to-end correctness check.
+"""
+
+from repro.sim.events import FlightLeg, HoverEvent
+from repro.sim.trace import MissionTrace
+from repro.sim.simulator import simulate_mission
+from repro.sim.validate import cross_validate, CrossValidationReport
+from repro.sim.perturb import (
+    Perturbation,
+    ContingencyResult,
+    simulate_with_contingency,
+    evaluate_robustness,
+)
+
+__all__ = [
+    "Perturbation",
+    "ContingencyResult",
+    "simulate_with_contingency",
+    "evaluate_robustness",
+    "FlightLeg",
+    "HoverEvent",
+    "MissionTrace",
+    "simulate_mission",
+    "cross_validate",
+    "CrossValidationReport",
+]

@@ -1,0 +1,74 @@
+"""Timeline event records produced by the mission simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FlightLeg:
+    """One point-to-point flight.
+
+    Attributes
+    ----------
+    start_time, end_time:
+        Mission clock (seconds) at departure and arrival.
+    origin, destination:
+        ``(x, y)`` coordinates.
+    distance:
+        Leg length in metres.
+    energy:
+        Joules consumed.
+    """
+
+    start_time: float
+    end_time: float
+    origin: Tuple[float, float]
+    destination: Tuple[float, float]
+    distance: float
+    energy: float
+
+    @property
+    def duration(self) -> float:
+        """Leg flight time in seconds."""
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class HoverEvent:
+    """One hover-and-collect stop.
+
+    Attributes
+    ----------
+    start_time, end_time:
+        Mission clock (seconds).
+    position:
+        Hover ``(x, y)``.
+    energy:
+        Joules consumed hovering.
+    uploads:
+        Mapping sensor index -> MB uploaded during this hover.
+    channels:
+        Mapping sensor index -> OFDMA channel used.
+    """
+
+    start_time: float
+    end_time: float
+    position: Tuple[float, float]
+    energy: float
+    uploads: Dict[int, float] = field(default_factory=dict)
+    channels: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Sojourn in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def volume(self) -> float:
+        """Total MB collected at this hover."""
+        return float(sum(self.uploads.values()))
+
+
+__all__ = ["FlightLeg", "HoverEvent"]

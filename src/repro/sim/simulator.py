@@ -1,0 +1,114 @@
+"""Execute a planned :class:`~repro.core.tour.CollectionTour` step by step.
+
+The simulator shares *no* state with the planners: it re-derives coverage
+from raw geometry, debits energy through the ledger, and uploads data with
+the same greedy OFDMA semantics the paper's framework describes (every
+covered device transmits on its own channel at bandwidth ``B`` for the
+whole sojourn, capped by its remaining data).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tour import CollectionTour
+from repro.energy.ledger import EnergyLedger
+from repro.geometry.coverage import CoverageIndex
+from repro.radio.link import DistanceRateModel, RadioModel
+from repro.radio.ofdma import OFDMAScheduler
+from repro.sim.events import FlightLeg, HoverEvent
+from repro.sim.trace import MissionTrace
+from repro.utils.errors import InfeasibleTourError
+
+
+def simulate_mission(tour: CollectionTour, radio: RadioModel, *,
+                     ofdma_channels: int = 1024,
+                     strict_energy: bool = True,
+                     strict_channels: bool = False,
+                     rate_model: Optional[DistanceRateModel] = None
+                     ) -> MissionTrace:
+    """Fly the tour and return the full :class:`MissionTrace`.
+
+    Parameters
+    ----------
+    tour:
+        The planner output to execute.
+    radio:
+        Uplink model (coverage radius and bandwidth).
+    ofdma_channels:
+        Radio channel budget for the OFDMA scheduler.
+    strict_energy:
+        Raise :class:`~repro.utils.errors.InfeasibleTourError` the moment
+        the battery would overdraw (default); otherwise finish the mission
+        and let the caller inspect ``trace.ledger.overdrawn``.
+    strict_channels:
+        Raise when a hover covers more devices than channels exist;
+        otherwise the excess devices are silently not served (their data
+        stays on the ground), modelling a saturated radio.
+    rate_model:
+        Optional :class:`~repro.radio.link.DistanceRateModel`: uploads run
+        at the distance-dependent effective rate instead of the constant
+        ``radio.bandwidth`` the planners assume.  This is the sensitivity
+        knob for the paper's §III-B "differences are negligible at low
+        altitude" claim — see ``benchmarks/bench_rate_sensitivity.py``.
+
+    Returns
+    -------
+    MissionTrace
+    """
+    net = tour.network
+    index = CoverageIndex(net.positions, radio.coverage_radius)
+    scheduler = OFDMAScheduler(ofdma_channels, strict=strict_channels)
+    ledger = EnergyLedger(tour.energy, strict=strict_energy)
+
+    rem = net.volumes.astype(float).copy()
+    collected = np.zeros(net.n_nodes)
+    events: list = []
+    clock = 0.0
+    points = tour.points
+
+    for i in range(len(points)):
+        pos = points[i]
+        # Hover & collect (skip zero-duration stops like the bare depot).
+        duration = float(tour.sojourns[i])
+        if duration > 0:
+            entry = ledger.debit_hover(duration, note=f"hover@{i}")
+            covered = index.covered_by_single(pos)
+            assignment = scheduler.assign(covered)
+            uploads = {}
+            for v, _ch in assignment.device_to_channel.items():
+                if rate_model is not None:
+                    ground_d = float(np.hypot(*(net.positions[v] - pos)))
+                    rate = float(rate_model.rate_at(np.asarray([ground_d]))[0])
+                else:
+                    rate = radio.bandwidth
+                amount = min(rem[v], rate * duration)
+                if amount > 0:
+                    uploads[v] = amount
+                    rem[v] -= amount
+                    collected[v] += amount
+            events.append(HoverEvent(
+                start_time=clock, end_time=clock + duration,
+                position=(float(pos[0]), float(pos[1])),
+                energy=entry.energy, uploads=uploads,
+                channels=dict(assignment.device_to_channel)))
+            clock += duration
+        # Fly to the next point (wrapping back to the depot at the end).
+        nxt = points[(i + 1) % len(points)]
+        leg = float(np.hypot(*(nxt - pos)))
+        if leg > 0:
+            entry = ledger.debit_travel(leg, note=f"leg{i}->{(i + 1) % len(points)}")
+            events.append(FlightLeg(
+                start_time=clock, end_time=clock + entry.duration,
+                origin=(float(pos[0]), float(pos[1])),
+                destination=(float(nxt[0]), float(nxt[1])),
+                distance=leg, energy=entry.energy))
+            clock += entry.duration
+
+    return MissionTrace(events=events, collected=collected, ledger=ledger,
+                        ofdma_max_concurrency=scheduler.max_concurrency)
+
+
+__all__ = ["simulate_mission"]

@@ -1,0 +1,76 @@
+"""The :class:`MissionTrace` produced by executing a tour."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+import numpy as np
+
+from repro.energy.ledger import EnergyLedger
+from repro.sim.events import FlightLeg, HoverEvent
+
+Event = Union[FlightLeg, HoverEvent]
+
+
+@dataclass
+class MissionTrace:
+    """Complete record of one simulated mission.
+
+    Attributes
+    ----------
+    events:
+        Chronological :class:`FlightLeg` / :class:`HoverEvent` records.
+    collected:
+        Per-sensor MB actually uploaded over the mission.
+    ledger:
+        The energy account debited during execution.
+    ofdma_max_concurrency:
+        Peak simultaneous uploads observed (OFDMA channel pressure).
+    """
+
+    events: List[Event]
+    collected: np.ndarray
+    ledger: EnergyLedger
+    ofdma_max_concurrency: int = 0
+
+    @property
+    def flight_legs(self) -> List[FlightLeg]:
+        """Only the flight events, in order."""
+        return [e for e in self.events if isinstance(e, FlightLeg)]
+
+    @property
+    def hovers(self) -> List[HoverEvent]:
+        """Only the hover events, in order."""
+        return [e for e in self.events if isinstance(e, HoverEvent)]
+
+    @property
+    def total_time(self) -> float:
+        """Mission clock at the end of the last event (seconds)."""
+        return self.events[-1].end_time if self.events else 0.0
+
+    @property
+    def total_energy(self) -> float:
+        """Total joules debited."""
+        return self.ledger.spent
+
+    @property
+    def collected_volume(self) -> float:
+        """Total MB uploaded."""
+        return float(self.collected.sum())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable mission report."""
+        legs, hovers = self.flight_legs, self.hovers
+        travel = sum(l.distance for l in legs)
+        return (
+            f"mission: {len(legs)} legs ({travel:.0f} m), "
+            f"{len(hovers)} hovers ({sum(h.duration for h in hovers):.1f} s), "
+            f"collected {self.collected_volume:.1f} MB, "
+            f"energy {self.total_energy:.0f} J "
+            f"({self.ledger.remaining:.0f} J remaining), "
+            f"peak OFDMA concurrency {self.ofdma_max_concurrency}"
+        )
+
+
+__all__ = ["MissionTrace", "Event"]

@@ -1,0 +1,95 @@
+"""Cross-validation: planner claims vs simulated execution.
+
+The strongest correctness statement this library can make about a planner
+is: *an independent executor, sharing no code path with the planner's
+accounting, reproduces its claimed collected volume within tolerance and
+stays within the battery.*  :func:`cross_validate` makes that statement
+checkable in one call; the integration tests run it over every planner on
+every scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.tour import CollectionTour
+from repro.radio.link import RadioModel
+from repro.sim.simulator import simulate_mission
+from repro.sim.trace import MissionTrace
+from repro.utils.errors import InfeasibleTourError
+
+
+@dataclass(frozen=True)
+class CrossValidationReport:
+    """Outcome of :func:`cross_validate`."""
+
+    ok: bool
+    claimed_volume: float
+    simulated_volume: float
+    claimed_energy: float
+    simulated_energy: float
+    discrepancies: List[str]
+    trace: MissionTrace
+
+
+def cross_validate(tour: CollectionTour, radio: RadioModel, *,
+                   volume_tol: float = 1e-6,
+                   energy_tol: float = 1e-6,
+                   strict: bool = True) -> CrossValidationReport:
+    """Execute *tour* and compare the trace against the planner's claims.
+
+    Checks:
+
+    1. the simulated mission never overdraws the battery,
+    2. simulated total energy equals the planner's claimed energy,
+    3. the simulator collects **at least** the claimed volume from every
+       sensor (a planner may legitimately under-claim — e.g. a hover's
+       sojourn drains neighbours it did not count — but must never
+       over-claim).
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`InfeasibleTourError` on any discrepancy.
+    """
+    discrepancies: List[str] = []
+    try:
+        trace = simulate_mission(tour, radio, strict_energy=True)
+    except InfeasibleTourError as exc:
+        if strict:
+            raise
+        trace = simulate_mission(tour, radio, strict_energy=False)
+        discrepancies.append(f"battery overdraw during execution: {exc}")
+
+    sim_energy = trace.total_energy
+    claimed_energy = tour.total_energy
+    if abs(sim_energy - claimed_energy) > energy_tol * max(1.0, claimed_energy):
+        discrepancies.append(
+            f"energy mismatch: planner claims {claimed_energy:.6f} J, "
+            f"simulator measured {sim_energy:.6f} J")
+
+    short = tour.collected - trace.collected
+    if (short > volume_tol).any():
+        worst = int(np.argmax(short))
+        discrepancies.append(
+            f"sensor {worst}: planner claims {tour.collected[worst]:.6f} MB "
+            f"but execution only collected {trace.collected[worst]:.6f} MB")
+
+    report = CrossValidationReport(
+        ok=not discrepancies,
+        claimed_volume=tour.collected_volume,
+        simulated_volume=trace.collected_volume,
+        claimed_energy=claimed_energy,
+        simulated_energy=sim_energy,
+        discrepancies=discrepancies,
+        trace=trace)
+    if strict and discrepancies:
+        raise InfeasibleTourError(
+            "cross-validation failed: " + "; ".join(discrepancies))
+    return report
+
+
+__all__ = ["cross_validate", "CrossValidationReport"]

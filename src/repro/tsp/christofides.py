@@ -1,0 +1,131 @@
+"""Christofides' 1.5-approximation for metric TSP (Christofides 1976).
+
+This is the tour subroutine the paper specifies for Algorithm 2/3's
+``TSP(S_j)`` evaluations and for the benchmark baseline's initial tour.
+
+Pipeline (implemented from scratch on top of networkx's blossom matching):
+
+1. minimum spanning tree of the complete graph,
+2. minimum-weight perfect matching on the odd-degree MST vertices,
+3. union multigraph is Eulerian; take an Euler circuit,
+4. shortcut repeated vertices (valid by the triangle inequality).
+
+The distance matrix must be (approximately) metric for the 1.5 guarantee;
+the function itself works on any symmetric non-negative matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+from scipy.sparse.csgraph import minimum_spanning_tree
+
+from repro.tsp.length import validate_tour
+from repro.utils.errors import InvalidParameterError
+
+
+def _check_matrix(dist: np.ndarray) -> np.ndarray:
+    d = np.asarray(dist, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise InvalidParameterError(f"dist must be square, got shape {d.shape}")
+    if not np.isfinite(d).all():
+        raise InvalidParameterError("dist contains non-finite entries")
+    if (d < 0).any():
+        raise InvalidParameterError("dist contains negative entries")
+    if not np.allclose(d, d.T, rtol=1e-9, atol=1e-9):
+        raise InvalidParameterError("dist must be symmetric")
+    return d
+
+
+def christofides_tour(dist: np.ndarray, start: int = 0,
+                      nodes: Optional[np.ndarray] = None) -> np.ndarray:
+    """Christofides tour over *nodes* (default all) of the matrix *dist*.
+
+    Parameters
+    ----------
+    dist:
+        Symmetric non-negative ``(n, n)`` distance matrix.
+    start:
+        Node the returned tour begins at (must be in *nodes*).
+    nodes:
+        Optional subset of node indices to tour; the planners pass the
+        current hovering-location set here so the full matrix is computed
+        only once per instance.
+
+    Returns
+    -------
+    numpy.ndarray
+        A permutation of *nodes* beginning at *start*, interpreted as a
+        closed tour.
+    """
+    d = _check_matrix(dist)
+    n = d.shape[0]
+    pool = np.arange(n) if nodes is None else np.asarray(nodes, dtype=int)
+    if len(pool) and (pool.min() < 0 or pool.max() >= n):
+        raise InvalidParameterError("nodes contains indices outside the matrix")
+    if len(np.unique(pool)) != len(pool):
+        raise InvalidParameterError("nodes contains duplicates")
+    if start not in pool:
+        raise InvalidParameterError(f"start node {start} not in the node set")
+    k = len(pool)
+    if k <= 2:
+        # 1 node: stay put; 2 nodes: out-and-back. Both trivially optimal.
+        rest = pool[pool != start]
+        return np.concatenate([[start], rest]).astype(int)
+
+    sub = d[np.ix_(pool, pool)]
+
+    # 1. MST on the subset (scipy is much faster than nx for dense input).
+    #    scipy's sparse MST treats exact zeros as "no edge", which would
+    #    disconnect coincident points; shifting every edge by a constant
+    #    leaves the arg-min spanning tree unchanged (all trees gain the
+    #    same (k-1)*shift) while keeping zero-length edges representable.
+    shift = max(1.0, float(sub.max()))
+    shifted = sub + shift
+    np.fill_diagonal(shifted, 0.0)
+    mst = minimum_spanning_tree(shifted).toarray()
+    mst_sym = mst + mst.T
+
+    degree = (mst_sym > 0).sum(axis=1)
+    odd = np.flatnonzero(degree % 2 == 1)
+    # Handshake lemma: the number of odd-degree vertices is even.
+    assert len(odd) % 2 == 0, "odd-degree vertex count must be even"
+
+    # 2. Min-weight perfect matching on the odd vertices (blossom algorithm
+    #    via networkx; min_weight over the complete graph on `odd`).
+    g_odd = nx.Graph()
+    g_odd.add_nodes_from(range(len(odd)))
+    for a in range(len(odd)):
+        for b in range(a + 1, len(odd)):
+            g_odd.add_edge(a, b, weight=float(sub[odd[a], odd[b]]))
+    matching = nx.min_weight_matching(g_odd)
+
+    # 3. Multigraph = MST + matching edges; it is connected with all-even
+    #    degrees, hence Eulerian.
+    multi = nx.MultiGraph()
+    multi.add_nodes_from(range(k))
+    ii, jj = np.nonzero(mst)
+    for a, b in zip(ii, jj):
+        multi.add_edge(int(a), int(b))
+    for a, b in matching:
+        multi.add_edge(int(odd[a]), int(odd[b]))
+    start_local = int(np.flatnonzero(pool == start)[0])
+    circuit = nx.eulerian_circuit(multi, source=start_local)
+
+    # 4. Shortcut: keep the first occurrence of each vertex.
+    seen = np.zeros(k, dtype=bool)
+    order = []
+    for a, _b in circuit:
+        if not seen[a]:
+            seen[a] = True
+            order.append(a)
+    # The Euler circuit visits every vertex (the multigraph is connected).
+    assert seen.all(), "Euler circuit missed a vertex"
+
+    tour = pool[np.asarray(order, dtype=int)]
+    return validate_tour(tour, n)
+
+
+__all__ = ["christofides_tour"]

@@ -1,0 +1,110 @@
+"""Local-search improvement: 2-opt and Or-opt.
+
+Used (a) to polish Christofides tours inside the planners when
+``polish=True``, and (b) by the GRASP orienteering solver's intra-route
+step.  Both operators are implemented with vectorised gain scans so a full
+improvement pass over a tour of length m costs O(m^2) numpy work rather
+than O(m^2) Python-loop work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsp.length import tour_length_matrix
+from repro.utils.errors import InvalidParameterError
+
+
+def _check(tour, dist) -> np.ndarray:
+    arr = np.asarray(tour, dtype=int)
+    if arr.ndim != 1:
+        raise InvalidParameterError("tour must be 1-D")
+    return arr
+
+
+def two_opt(tour, dist: np.ndarray, *, max_rounds: int = 50,
+            tol: float = 1e-9) -> np.ndarray:
+    """First-improvement 2-opt on a closed tour.
+
+    Repeats full scans until no move improves by more than *tol* or
+    *max_rounds* scans elapse.  Returns a new tour array; the input is not
+    modified.
+    """
+    arr = _check(tour, dist).copy()
+    m = len(arr)
+    if m < 4:
+        return arr
+    for _ in range(max_rounds):
+        improved = False
+        # Consider reversing segment arr[i+1 .. j] for 0 <= i < j < m.
+        for i in range(m - 2):
+            a, b = arr[i], arr[i + 1]
+            # Vectorised gain for all j in (i+1, m-1]:
+            js = np.arange(i + 2, m)
+            c = arr[js]
+            d_next = arr[(js + 1) % m]
+            # Skip the wrap edge when it coincides with edge (a, b).
+            gains = (dist[a, b] + dist[c, d_next]
+                     - dist[a, c] - dist[b, d_next])
+            if i == 0:
+                gains[-1] = -np.inf  # j = m-1 with i = 0 reverses the whole tour
+            best = int(np.argmax(gains))
+            if gains[best] > tol:
+                j = int(js[best])
+                arr[i + 1:j + 1] = arr[i + 1:j + 1][::-1]
+                improved = True
+        if not improved:
+            break
+    return arr
+
+
+def or_opt(tour, dist: np.ndarray, *, segment_lengths=(1, 2, 3),
+           max_rounds: int = 20, tol: float = 1e-9) -> np.ndarray:
+    """Or-opt: relocate short segments (length 1–3) to better positions.
+
+    Complements 2-opt (which cannot move a single vertex between two fixed
+    neighbours).  Returns a new tour array.
+    """
+    arr = _check(tour, dist).copy()
+    m = len(arr)
+    if m < 5:
+        return arr
+    for _ in range(max_rounds):
+        improved = False
+        for seg_len in segment_lengths:
+            if seg_len >= m - 2:
+                continue
+            i = 0
+            while i < m:
+                # Segment arr[i : i+seg_len] (no wraparound segments; the
+                # tour is rotation-invariant so full coverage is achieved
+                # over successive rounds).
+                if i + seg_len >= m:
+                    break
+                prev_node = arr[i - 1] if i > 0 else arr[m - 1]
+                seg_start, seg_end = arr[i], arr[i + seg_len - 1]
+                nxt = arr[(i + seg_len) % m]
+                removal_gain = (dist[prev_node, seg_start]
+                                + dist[seg_end, nxt]
+                                - dist[prev_node, nxt])
+                if removal_gain > tol:
+                    rest = np.concatenate([arr[:i], arr[i + seg_len:]])
+                    seg = arr[i:i + seg_len]
+                    r = len(rest)
+                    nxt_rest = np.roll(rest, -1)
+                    ins_cost = (dist[rest, seg_start] + dist[seg_end, nxt_rest]
+                                - dist[rest, nxt_rest])
+                    best = int(np.argmin(ins_cost))
+                    if ins_cost[best] < removal_gain - tol:
+                        pos = best + 1
+                        arr = np.concatenate([rest[:pos], seg, rest[pos:]])
+                        improved = True
+                        i = 0
+                        continue
+                i += 1
+        if not improved:
+            break
+    return arr
+
+
+__all__ = ["two_opt", "or_opt"]

@@ -1,0 +1,76 @@
+"""Tour representation helpers.
+
+A *tour* is a sequence of distinct node indices; it is interpreted as
+closed (the UAV returns from the last node to the first).  All length
+computations take a precomputed symmetric ``(n, n)`` distance matrix, which
+the planners build once per instance via
+:func:`repro.geometry.pairwise_distances`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import InvalidParameterError
+
+
+def _as_tour(tour) -> np.ndarray:
+    arr = np.asarray(tour, dtype=int)
+    if arr.ndim != 1:
+        raise InvalidParameterError(f"tour must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def validate_tour(tour, n: int) -> np.ndarray:
+    """Check that *tour* is a sequence of distinct indices in ``[0, n)``.
+
+    Returns the tour as an int array.  An empty tour is valid (the UAV
+    never leaves the depot).
+    """
+    arr = _as_tour(tour)
+    if len(arr) == 0:
+        return arr
+    if arr.min() < 0 or arr.max() >= n:
+        raise InvalidParameterError(
+            f"tour contains indices outside [0, {n})")
+    if len(np.unique(arr)) != len(arr):
+        raise InvalidParameterError("tour visits a node more than once")
+    return arr
+
+
+def tour_length_matrix(tour, dist: np.ndarray) -> float:
+    """Length of the closed tour under distance matrix *dist*.
+
+    Tours with fewer than two nodes have length zero.
+    """
+    arr = _as_tour(tour)
+    if len(arr) < 2:
+        return 0.0
+    nxt = np.roll(arr, -1)
+    return float(dist[arr, nxt].sum())
+
+
+def tour_edges(tour) -> List[Tuple[int, int]]:
+    """The closed tour's directed edge list ``[(t0,t1), ..., (tk,t0)]``."""
+    arr = _as_tour(tour)
+    if len(arr) < 2:
+        return []
+    return [(int(arr[i]), int(arr[(i + 1) % len(arr)])) for i in range(len(arr))]
+
+
+def rotate_to_start(tour, start: int) -> np.ndarray:
+    """Rotate a closed tour so that it begins at node *start*.
+
+    Closed tours are rotation-invariant; planners use this to present tours
+    depot-first.  Raises if *start* is not on the tour.
+    """
+    arr = _as_tour(tour)
+    where = np.flatnonzero(arr == start)
+    if len(where) == 0:
+        raise InvalidParameterError(f"node {start} is not on the tour")
+    return np.roll(arr, -int(where[0]))
+
+
+__all__ = ["validate_tour", "tour_length_matrix", "tour_edges", "rotate_to_start"]

@@ -1,0 +1,34 @@
+"""Shared utilities: errors, RNG handling, argument validation, timing.
+
+These helpers are deliberately small and dependency-free so that every
+other subpackage can import them without risk of circular imports.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    InfeasibleTourError,
+    InvalidParameterError,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_integer,
+)
+
+__all__ = [
+    "ReproError",
+    "InfeasibleTourError",
+    "InvalidParameterError",
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_finite",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except ReproError`` clause while letting genuine bugs propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Subclasses :class:`ValueError` so that generic callers that expect the
+    standard library convention keep working.
+    """
+
+
+class InfeasibleTourError(ReproError):
+    """A tour violates the UAV energy budget or structural constraints.
+
+    Raised by validators in :mod:`repro.core.tour` and by the execution
+    simulator in :mod:`repro.sim` when a planned tour cannot be flown.
+    """
+
+    def __init__(self, message: str, *, required: float | None = None,
+                 available: float | None = None) -> None:
+        super().__init__(message)
+        #: Energy (J) the tour would need, when known.
+        self.required = required
+        #: Energy (J) the UAV battery holds, when known.
+        self.available = available

@@ -1,0 +1,53 @@
+"""Wall-clock timing helper used by the experiment harness.
+
+The paper reports per-algorithm running times (Figs. 3(b), 4(b), 5(b));
+:class:`Timer` provides the measurement primitive with a context-manager
+interface so runners can write ``with Timer() as t: ...; t.elapsed``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def running(self) -> bool:
+        """True while inside the ``with`` block."""
+        return self._start is not None and self._elapsed is None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds; live value while running, frozen after exit."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+__all__ = ["Timer"]

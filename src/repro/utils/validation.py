@@ -1,0 +1,97 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises :class:`repro.utils.errors.InvalidParameterError` with a
+message that names the offending parameter, which makes configuration
+mistakes in experiment sweeps immediately diagnosable.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from typing import Any
+
+import numpy as np
+
+from repro.utils.errors import InvalidParameterError
+
+
+def check_finite(value: Any, name: str) -> float:
+    """Ensure *value* is a finite real number and return it as ``float``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    if not math.isfinite(v):
+        raise InvalidParameterError(f"{name} must be finite, got {value!r}")
+    return v
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Ensure *value* is finite and strictly positive."""
+    v = check_finite(value, name)
+    if v <= 0:
+        raise InvalidParameterError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Ensure *value* is finite and >= 0."""
+    v = check_finite(value, name)
+    if v < 0:
+        raise InvalidParameterError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_in_range(value: Any, name: str, low: float, high: float, *,
+                   inclusive: bool = True) -> float:
+    """Ensure ``low <= value <= high`` (or strict when ``inclusive=False``)."""
+    v = check_finite(value, name)
+    if inclusive:
+        if not (low <= v <= high):
+            raise InvalidParameterError(
+                f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < v < high):
+            raise InvalidParameterError(
+                f"{name} must be in ({low}, {high}), got {value!r}")
+    return v
+
+
+def check_integer(value: Any, name: str, *, minimum: int | None = None) -> int:
+    """Ensure *value* is an integer (or integral float) and return ``int``."""
+    if isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, (int, np.integer)):
+        v = int(value)
+    elif isinstance(value, float) and value.is_integer():
+        v = int(value)
+    else:
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and v < minimum:
+        raise InvalidParameterError(f"{name} must be >= {minimum}, got {value!r}")
+    return v
+
+
+def check_points_array(points: Any, name: str) -> np.ndarray:
+    """Validate and coerce an ``(n, 2)`` float array of planar coordinates."""
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim == 1 and arr.size == 2:
+        arr = arr.reshape(1, 2)
+    elif arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise InvalidParameterError(
+            f"{name} must have shape (n, 2), got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise InvalidParameterError(f"{name} contains non-finite coordinates")
+    return arr
+
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+    "check_points_array",
+]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Instances are deliberately small (tens of nodes) so the whole suite runs
+in seconds; paper-scale behaviour is exercised by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.geometry.region import Region
+from repro.network.generator import NetworkGenerator
+from repro.radio.link import RadioModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def region():
+    """A 400 m x 400 m region — small enough for tight tours."""
+    return Region.square(400.0)
+
+
+@pytest.fixture
+def radio():
+    """Paper-like radio scaled to the test region: R0 = 50 m, B = 150 MB/s."""
+    return RadioModel(bandwidth=150.0, transmission_range=50.0, altitude=0.0)
+
+
+@pytest.fixture
+def energy():
+    """A battery that binds on the test instances (tours must choose)."""
+    return EnergyModel(capacity=2e4, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+@pytest.fixture
+def roomy_energy():
+    """A battery large enough to collect everything on the test instances."""
+    return EnergyModel(capacity=5e5, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+@pytest.fixture
+def generator(region):
+    """Network generator over the test region."""
+    return NetworkGenerator(region, volume_range=(50.0, 500.0))
+
+
+@pytest.fixture
+def small_net(generator):
+    """20 uniform nodes — the workhorse instance."""
+    return generator.uniform(20, seed=7)
+
+
+@pytest.fixture
+def tiny_net(generator):
+    """6 nodes — small enough for exact orienteering oracles."""
+    return generator.uniform(6, seed=3)
+
+
+@pytest.fixture
+def clustered_net(generator):
+    """18 nodes in 3 clusters — exercises coverage overlap heavily."""
+    return generator.clustered(18, n_clusters=3, spread=25.0, seed=11)

@@ -1,0 +1,78 @@
+"""Unit tests for the chart-internals (_nice_ticks, _fmt, table pivots)."""
+
+import pytest
+
+from repro.experiments.svg_plot import _fmt, _nice_ticks
+from repro.experiments.tables import _markdown_table, _pivot
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.config import reduced_settings
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 and ticks[-1] >= 10.0
+
+    def test_monotone_and_uniform(self):
+        ticks = _nice_ticks(3.0, 97.0)
+        steps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(s > 0 for s in steps)
+        assert max(steps) - min(steps) < 1e-9
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert ticks[0] <= 5.0 <= ticks[-1]
+
+    def test_small_values(self):
+        ticks = _nice_ticks(0.001, 0.009)
+        assert ticks[0] <= 0.001 and ticks[-1] >= 0.009
+
+    def test_large_values(self):
+        ticks = _nice_ticks(30000.0, 90000.0)
+        assert 3 <= len(ticks) <= 12
+
+    def test_reasonable_count(self):
+        for lo, hi in ((0, 1), (0, 7), (12, 13), (-5, 5)):
+            assert 2 <= len(_nice_ticks(lo, hi)) <= 12
+
+
+class TestFmt:
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_plain_numbers(self):
+        assert _fmt(5.0) == "5"
+        assert _fmt(2.5) == "2.5"
+
+    def test_large_uses_sig_figs(self):
+        assert _fmt(30000.0) == "3e+04"
+
+    def test_tiny_uses_sig_figs(self):
+        assert _fmt(0.001) == "0.001"
+
+
+class TestTablePivot:
+    def make_result(self):
+        rows = [SweepRow("delta", 10.0, "A", 1.0, 0.0, 0.5, 0.0, 1),
+                SweepRow("delta", 20.0, "A", 2.0, 0.0, 0.6, 0.0, 1),
+                SweepRow("delta", 10.0, "B", 3.0, 0.0, 0.7, 0.0, 1)]
+        return SweepResult(config=reduced_settings(), rows=rows)
+
+    def test_pivot_shape(self):
+        grid = _pivot(self.make_result(), "mean_volume_gb")
+        assert grid[0] == ["delta", "A", "B"]
+        assert len(grid) == 3  # header + two delta values
+
+    def test_missing_cell_dash(self):
+        grid = _pivot(self.make_result(), "mean_volume_gb")
+        # B has no delta=20 row.
+        row20 = [r for r in grid[1:] if r[0] == "20"][0]
+        assert row20[2] == "-"
+
+    def test_markdown_structure(self):
+        grid = _pivot(self.make_result(), "mean_time_s")
+        md = _markdown_table(grid)
+        lines = md.splitlines()
+        assert lines[0].startswith("| delta |")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == len(grid) + 1

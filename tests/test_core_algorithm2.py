@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.algorithm2 (greedy max-ratio heuristic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.benchmark_alg import plan_benchmark
+from repro.core.tour import validate_tour_feasibility
+from repro.utils.errors import InvalidParameterError
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_on_random_nets(self, generator, radio, energy, seed):
+        net = generator.uniform(18, seed=seed)
+        tour = plan_algorithm2(net, energy, radio, delta=25.0)
+        assert validate_tour_feasibility(tour, radio=radio).feasible
+
+    def test_depot_first(self, small_net, radio, energy):
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0)
+        np.testing.assert_allclose(tour.points[0], small_net.depot)
+
+    def test_tiny_budget_depot_only(self, small_net, radio):
+        from repro.energy.model import EnergyModel
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        tour = plan_algorithm2(small_net, tiny, radio, delta=25.0)
+        assert tour.collected_volume == 0.0
+        assert len(tour.points) == 1
+
+    def test_huge_budget_collects_everything(self, small_net, radio,
+                                             roomy_energy):
+        tour = plan_algorithm2(small_net, roomy_energy, radio, delta=25.0)
+        assert tour.collected_volume == pytest.approx(small_net.total_volume)
+
+    def test_empty_network(self, generator, radio, energy):
+        net = generator.uniform(0, seed=0)
+        tour = plan_algorithm2(net, energy, radio, delta=25.0)
+        assert tour.collected_volume == 0.0
+
+
+class TestSemantics:
+    def test_full_collection_per_visited_sensor(self, small_net, radio,
+                                                roomy_energy):
+        # DCM collects each covered sensor fully or not at all.
+        tour = plan_algorithm2(small_net, roomy_energy, radio, delta=25.0)
+        for v in range(small_net.n_nodes):
+            c = tour.collected[v]
+            assert c == pytest.approx(0.0) or c == pytest.approx(
+                small_net.volumes[v])
+
+    def test_sojourn_covers_max_upload(self, small_net, radio, energy):
+        # Every hover must last at least the max upload time among sensors
+        # it is responsible for (else cross_validate would fail).
+        from repro.sim.validate import cross_validate
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0)
+        assert cross_validate(tour, radio).ok
+
+    def test_no_repeated_hover_points(self, small_net, radio, energy):
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0)
+        unique = np.unique(tour.points, axis=0)
+        assert len(unique) == len(tour.points)
+
+    def test_monotone_in_budget(self, small_net, radio):
+        from repro.energy.model import EnergyModel
+        volumes = []
+        for cap in (5e3, 1e4, 2e4, 4e4):
+            e = EnergyModel(capacity=cap, hover_power=150.0,
+                            travel_power=100.0, speed=10.0)
+            volumes.append(plan_algorithm2(small_net, e, radio,
+                                           delta=25.0).collected_volume)
+        assert all(b >= a - 1e-6 for a, b in zip(volumes, volumes[1:]))
+
+
+class TestModes:
+    def test_christofides_mode_feasible(self, tiny_net, radio, energy):
+        tour = plan_algorithm2(tiny_net, energy, radio, delta=40.0,
+                               tsp_mode="christofides")
+        assert validate_tour_feasibility(tour, radio=radio).feasible
+        assert tour.meta["tsp_mode"] == "christofides"
+
+    def test_modes_agree_on_tiny(self, tiny_net, radio, roomy_energy):
+        a = plan_algorithm2(tiny_net, roomy_energy, radio, delta=40.0,
+                            tsp_mode="insertion")
+        b = plan_algorithm2(tiny_net, roomy_energy, radio, delta=40.0,
+                            tsp_mode="christofides")
+        # Both collect everything with a roomy budget.
+        assert a.collected_volume == pytest.approx(b.collected_volume)
+
+    def test_polish_never_hurts(self, generator, radio, energy):
+        net = generator.uniform(20, seed=5)
+        raw = plan_algorithm2(net, energy, radio, delta=25.0, polish=False)
+        polished = plan_algorithm2(net, energy, radio, delta=25.0, polish=True)
+        assert polished.collected_volume >= raw.collected_volume - 1e-6
+
+    def test_unknown_mode_rejected(self, small_net, radio, energy):
+        with pytest.raises(InvalidParameterError):
+            plan_algorithm2(small_net, energy, radio, delta=25.0,
+                            tsp_mode="quantum")
+
+    def test_prebuilt_sites_used(self, small_net, radio, energy):
+        from repro.core.hovering import build_hovering_sites
+        sites = build_hovering_sites(small_net, radio, 25.0)
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0,
+                               sites=sites)
+        assert tour.meta["n_candidates"] == sites.n_sites
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_beats_benchmark(self, generator, radio, energy, seed):
+        net = generator.uniform(20, seed=100 + seed)
+        alg2 = plan_algorithm2(net, energy, radio, delta=20.0)
+        bench = plan_benchmark(net, energy, radio)
+        assert alg2.collected_volume >= bench.collected_volume - 1e-6
+
+    def test_meta_fields(self, small_net, radio, energy):
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0)
+        assert tour.method == "algorithm2"
+        assert tour.meta["iterations"] >= 1
+        assert tour.meta["n_visited"] == len(tour.points) - 1

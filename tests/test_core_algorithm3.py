@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.algorithm3 (partial collection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.algorithm3 import plan_algorithm3
+from repro.core.tour import validate_tour_feasibility
+from repro.sim.validate import cross_validate
+from repro.utils.errors import InvalidParameterError
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_feasible_all_k(self, small_net, radio, energy, k):
+        tour = plan_algorithm3(small_net, energy, radio, delta=25.0, K=k)
+        assert validate_tour_feasibility(tour, radio=radio).feasible
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cross_validates(self, generator, radio, energy, seed):
+        net = generator.uniform(16, seed=seed)
+        tour = plan_algorithm3(net, energy, radio, delta=25.0, K=3)
+        assert cross_validate(tour, radio).ok
+
+    def test_tiny_budget_depot_only(self, small_net, radio):
+        from repro.energy.model import EnergyModel
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        tour = plan_algorithm3(small_net, tiny, radio, delta=25.0, K=2)
+        assert tour.collected_volume == 0.0
+
+    def test_huge_budget_collects_everything(self, small_net, radio,
+                                             roomy_energy):
+        tour = plan_algorithm3(small_net, roomy_energy, radio, delta=25.0, K=2)
+        assert tour.collected_volume == pytest.approx(small_net.total_volume)
+
+    def test_k_validated(self, small_net, radio, energy):
+        with pytest.raises(InvalidParameterError):
+            plan_algorithm3(small_net, energy, radio, delta=25.0, K=0)
+
+
+class TestPartialSemantics:
+    def test_partial_collection_happens_under_tight_budget(
+            self, generator, radio):
+        # With a budget too small to fully drain any cluster, Algorithm 3
+        # should still collect *something* partial from some sensor.
+        from repro.energy.model import EnergyModel
+        net = generator.clustered(12, n_clusters=2, spread=15.0, seed=2)
+        e = EnergyModel(capacity=6e3, hover_power=150.0,
+                        travel_power=100.0, speed=10.0)
+        tour = plan_algorithm3(net, e, radio, delta=25.0, K=4)
+        partial = (tour.collected > 1e-6) & (
+            tour.collected < net.volumes - 1e-6)
+        assert tour.collected_volume > 0
+        # At least one sensor is partially (not fully) drained, which the
+        # full-collection planners can never do.
+        assert partial.any()
+
+    def test_k1_matches_algorithm2_unpolished(self, small_net, radio, energy):
+        # The paper: DCM is the K = 1 special case of PDCM.
+        a2 = plan_algorithm2(small_net, energy, radio, delta=25.0,
+                             polish=False)
+        a3 = plan_algorithm3(small_net, energy, radio, delta=25.0, K=1,
+                             polish=False)
+        assert a3.collected_volume == pytest.approx(a2.collected_volume,
+                                                    rel=0.02)
+
+    def test_collected_never_exceeds_stored(self, small_net, radio, energy):
+        tour = plan_algorithm3(small_net, energy, radio, delta=25.0, K=3)
+        assert (tour.collected <= small_net.volumes + 1e-9).all()
+
+    def test_one_hover_entry_per_site(self, small_net, radio, energy):
+        # Lemma 2: upgrades extend an existing hover, never duplicate it.
+        tour = plan_algorithm3(small_net, energy, radio, delta=25.0, K=4)
+        unique = np.unique(tour.points, axis=0)
+        assert len(unique) == len(tour.points)
+
+    def test_monotone_in_budget(self, small_net, radio):
+        from repro.energy.model import EnergyModel
+        volumes = []
+        for cap in (5e3, 1e4, 2e4, 4e4):
+            e = EnergyModel(capacity=cap, hover_power=150.0,
+                            travel_power=100.0, speed=10.0)
+            volumes.append(plan_algorithm3(small_net, e, radio, delta=25.0,
+                                           K=2).collected_volume)
+        assert all(b >= a - 1e-6 for a, b in zip(volumes, volumes[1:]))
+
+
+class TestKBehaviour:
+    def test_larger_k_never_much_worse(self, generator, radio, energy):
+        # The paper reports larger K collects (slightly) more; greedy noise
+        # can flip tiny gaps, so assert K=4 is within 2 % of K=1.
+        net = generator.uniform(18, seed=8)
+        v1 = plan_algorithm3(net, energy, radio, delta=25.0, K=1).collected_volume
+        v4 = plan_algorithm3(net, energy, radio, delta=25.0, K=4).collected_volume
+        assert v4 >= 0.98 * v1
+
+    def test_meta_records_k(self, small_net, radio, energy):
+        tour = plan_algorithm3(small_net, energy, radio, delta=25.0, K=3)
+        assert tour.meta["K"] == 3
+        assert tour.meta["n_virtual_candidates"] == \
+            3 * tour.meta["n_candidates"]
+
+    def test_polish_never_hurts(self, generator, radio, energy):
+        net = generator.uniform(18, seed=9)
+        raw = plan_algorithm3(net, energy, radio, delta=25.0, K=2,
+                              polish=False)
+        polished = plan_algorithm3(net, energy, radio, delta=25.0, K=2,
+                                   polish=True)
+        assert polished.collected_volume >= raw.collected_volume - 1e-6
+
+    def test_iteration_limit_respected(self, small_net, radio, energy):
+        tour = plan_algorithm3(small_net, energy, radio, delta=25.0, K=2,
+                               max_iterations=3)
+        assert tour.meta["iterations"] <= 3

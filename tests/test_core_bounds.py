@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    collection_upper_bound,
+    hover_bound,
+    reach_bound,
+)
+from repro.core.planner import plan_tour
+from repro.energy.model import EnergyModel
+
+
+class TestReachBound:
+    def test_all_reachable_with_roomy_battery(self, small_net, radio,
+                                              roomy_energy):
+        assert reach_bound(small_net, roomy_energy, radio) == pytest.approx(
+            small_net.total_volume)
+
+    def test_nothing_reachable_with_tiny_battery(self, small_net, radio):
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        # Sensors within R0 of the depot are still "reachable" at zero
+        # travel; exclude that case by checking against those volumes only.
+        d = np.linalg.norm(small_net.positions - small_net.depot, axis=1)
+        free = small_net.volumes[d <= radio.coverage_radius].sum()
+        assert reach_bound(small_net, tiny, radio) == pytest.approx(free)
+
+    def test_empty_network(self, generator, radio, energy):
+        net = generator.uniform(0, seed=0)
+        assert reach_bound(net, energy, radio) == 0.0
+
+    def test_monotone_in_capacity(self, small_net, radio):
+        caps = (1e3, 5e3, 2e4, 1e5)
+        vals = [reach_bound(small_net,
+                            EnergyModel(capacity=c, hover_power=150.0,
+                                        travel_power=100.0, speed=10.0),
+                            radio)
+                for c in caps]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestHoverBound:
+    def test_caps_at_storage(self, small_net, radio, roomy_energy):
+        hb = hover_bound(small_net, roomy_energy, radio, delta=25.0)
+        assert hb <= small_net.total_volume + 1e-6
+
+    def test_zero_battery_zero_bound(self, small_net, radio):
+        tiny = EnergyModel(capacity=1e-9, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        assert hover_bound(small_net, tiny, radio, delta=25.0) < 1.0
+
+    def test_monotone_in_capacity(self, small_net, radio):
+        caps = (1e3, 5e3, 2e4, 1e5)
+        vals = [hover_bound(small_net,
+                            EnergyModel(capacity=c, hover_power=150.0,
+                                        travel_power=100.0, speed=10.0),
+                            radio, delta=25.0)
+                for c in caps]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+
+class TestCombinedBound:
+    def test_value_is_minimum(self, small_net, radio, energy):
+        report = collection_upper_bound(small_net, energy, radio, delta=25.0)
+        assert report.value == min(report.storage_bound, report.reach_bound,
+                                   report.hover_bound)
+
+    @pytest.mark.parametrize("method,kwargs", [
+        ("algorithm1", {"seed": 0, "n_restarts": 2}),
+        ("algorithm2", {}),
+        ("algorithm3", {"K": 2}),
+        ("benchmark", {}),
+    ])
+    def test_every_planner_below_bound(self, small_net, radio, energy,
+                                       method, kwargs):
+        extra = {} if method == "benchmark" else {"delta": 25.0}
+        tour = plan_tour(small_net, energy, radio, method=method,
+                         **extra, **kwargs)
+        report = collection_upper_bound(small_net, energy, radio, delta=25.0)
+        assert tour.collected_volume <= report.value + 1e-6
+
+    def test_bound_tight_when_everything_collectable(self, small_net, radio,
+                                                     roomy_energy):
+        report = collection_upper_bound(small_net, roomy_energy, radio,
+                                        delta=25.0)
+        assert report.value == pytest.approx(small_net.total_volume)

@@ -1,0 +1,168 @@
+"""Unit tests for the exact DCM reference solver (order-aware DP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import plan_algorithm1
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.algorithm3 import plan_algorithm3
+from repro.core.exact_dcm import (
+    MAX_EXACT_SITES,
+    optimality_gap,
+    solve_dcm_exact,
+)
+from repro.core.hovering import build_hovering_sites
+from repro.core.tour import validate_tour_feasibility
+from repro.energy.model import EnergyModel
+from repro.geometry.region import Region
+from repro.network.generator import NetworkGenerator
+from repro.radio.link import RadioModel
+from repro.utils.errors import InvalidParameterError
+
+#: Geometry chosen so the δ=100 grid over a 300 m square yields at most
+#: 9 candidate sites — always within the exact solver's limit.
+EXACT_DELTA = 100.0
+
+
+@pytest.fixture
+def exact_gen():
+    return NetworkGenerator(Region.square(300.0), volume_range=(50.0, 500.0))
+
+
+@pytest.fixture
+def exact_radio():
+    # R0 = 100 m >= delta, so Algorithm 1 is applicable too.
+    return RadioModel(bandwidth=150.0, transmission_range=100.0, altitude=0.0)
+
+
+@pytest.fixture
+def exact_energy():
+    # Binds on these instances (tours ~600-900 m, hover up to ~30 s).
+    return EnergyModel(capacity=8e3, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+class TestExactSolver:
+    def test_optimal_tour_is_feasible(self, exact_gen, exact_radio,
+                                      exact_energy):
+        net = exact_gen.uniform(6, seed=21)
+        res = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        report = validate_tour_feasibility(res.tour, radio=exact_radio)
+        assert report.feasible
+        assert res.optimal_volume == pytest.approx(
+            res.tour.collected_volume)
+
+    def test_simulator_confirms_optimal_tour(self, exact_gen, exact_radio,
+                                             exact_energy):
+        from repro.sim.validate import cross_validate
+        net = exact_gen.uniform(6, seed=22)
+        res = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        assert cross_validate(res.tour, exact_radio).ok
+
+    def test_roomy_budget_collects_everything(self, exact_gen, exact_radio):
+        net = exact_gen.uniform(6, seed=23)
+        roomy = EnergyModel(capacity=1e6, hover_power=150.0,
+                            travel_power=100.0, speed=10.0)
+        res = solve_dcm_exact(net, roomy, exact_radio, delta=EXACT_DELTA)
+        assert res.optimal_volume == pytest.approx(net.total_volume)
+
+    def test_zero_budget_collects_nothing(self, exact_gen, exact_radio):
+        net = exact_gen.uniform(6, seed=24)
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        res = solve_dcm_exact(net, tiny, exact_radio, delta=EXACT_DELTA)
+        assert res.optimal_volume == 0.0
+        assert len(res.tour.points) == 1
+
+    def test_site_limit_enforced(self, radio, energy, generator):
+        net = generator.uniform(30, seed=0)
+        with pytest.raises(InvalidParameterError):
+            solve_dcm_exact(net, energy, radio, delta=15.0)
+
+    def test_sensor_limit_enforced(self, exact_radio, exact_energy):
+        gen = NetworkGenerator(Region.square(300.0))
+        net = gen.uniform(63, seed=0)
+        with pytest.raises(InvalidParameterError):
+            solve_dcm_exact(net, exact_energy, exact_radio,
+                            delta=EXACT_DELTA)
+
+    def test_monotone_in_budget(self, exact_gen, exact_radio):
+        net = exact_gen.uniform(6, seed=25)
+        vols = []
+        for cap in (2e3, 5e3, 1e4, 1e5):
+            e = EnergyModel(capacity=cap, hover_power=150.0,
+                            travel_power=100.0, speed=10.0)
+            vols.append(solve_dcm_exact(net, e, exact_radio,
+                                        delta=EXACT_DELTA).optimal_volume)
+        assert all(b >= a - 1e-9 for a, b in zip(vols, vols[1:]))
+
+    def test_order_aware_hover_accounting(self, exact_radio, exact_energy):
+        # Two sites covering one shared big sensor: the optimal tour must
+        # charge its upload time only once (at the first site).
+        from repro.network.sensor_network import SensorNetwork
+        net = SensorNetwork(
+            positions=[[100.0, 150.0], [200.0, 150.0], [150.0, 150.0]],
+            volumes=[300.0, 300.0, 450.0],  # big shared sensor in the middle
+            depot=[150.0, 0.0], region=Region.square(300.0))
+        res = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        # Total hover must not exceed one full drain of each sensor.
+        max_hover = (net.volumes / exact_radio.bandwidth).sum()
+        assert res.tour.hover_time <= max_hover + 1e-9
+
+
+class TestHeuristicsAgainstOptimal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_algorithm2_never_exceeds_optimal(self, exact_gen, exact_radio,
+                                              exact_energy, seed):
+        net = exact_gen.uniform(6, seed=100 + seed)
+        opt = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        tour = plan_algorithm2(net, exact_energy, exact_radio, EXACT_DELTA)
+        assert tour.collected_volume <= opt.optimal_volume + 1e-6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_algorithm2_near_optimal_on_small(self, exact_gen, exact_radio,
+                                              exact_energy, seed):
+        # Measured quality floor on these instances (usually optimal).
+        net = exact_gen.uniform(6, seed=200 + seed)
+        opt = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        tour = plan_algorithm2(net, exact_energy, exact_radio, EXACT_DELTA)
+        assert optimality_gap(tour.collected_volume,
+                              opt.optimal_volume) >= 0.75
+
+    def test_algorithm1_ignore_mode_near_optimal(self, exact_gen,
+                                                 exact_radio, exact_energy):
+        net = exact_gen.uniform(6, seed=300)
+        opt = solve_dcm_exact(net, exact_energy, exact_radio,
+                              delta=EXACT_DELTA)
+        tour = plan_algorithm1(net, exact_energy, exact_radio, EXACT_DELTA,
+                               overlap="ignore", seed=0, n_restarts=4)
+        assert optimality_gap(tour.collected_volume,
+                              opt.optimal_volume) >= 0.70
+
+    def test_algorithm3_bounded_by_storage_not_dcm_optimum(
+            self, exact_gen, exact_radio, exact_energy):
+        # Partial collection may legitimately exceed the *full*-collection
+        # optimum, but never the stored total.
+        net = exact_gen.uniform(6, seed=400)
+        tour = plan_algorithm3(net, exact_energy, exact_radio,
+                               EXACT_DELTA, K=4)
+        assert tour.collected_volume <= net.total_volume + 1e-6
+
+
+class TestOptimalityGapHelper:
+    def test_perfect(self):
+        assert optimality_gap(10.0, 10.0) == 1.0
+
+    def test_half(self):
+        assert optimality_gap(5.0, 10.0) == 0.5
+
+    def test_zero_optimum_zero_heuristic(self):
+        assert optimality_gap(0.0, 0.0) == 1.0
+
+    def test_zero_optimum_positive_heuristic_flags(self):
+        assert optimality_gap(1.0, 0.0) == float("inf")

@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.export (waypoint / plan / CSV export)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.export import (
+    PLAN_SCHEMA,
+    plan_dict_to_tour,
+    tour_to_csv,
+    tour_to_plan_dict,
+    tour_to_plan_json,
+    tour_to_waypoints,
+    waypoints_to_tour,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def tour(small_net, radio, energy):
+    return plan_algorithm2(small_net, energy, radio, delta=25.0)
+
+
+class TestWaypoints:
+    def test_count_includes_return(self, tour):
+        wps = tour_to_waypoints(tour)
+        assert len(wps) == len(tour.points) + 1
+
+    def test_return_waypoint_closes_at_depot(self, tour):
+        wps = tour_to_waypoints(tour)
+        assert (wps[-1].x, wps[-1].y) == (wps[0].x, wps[0].y)
+        assert wps[-1].hold_s == 0.0
+
+    def test_final_eta_is_mission_time(self, tour):
+        wps = tour_to_waypoints(tour)
+        assert wps[-1].eta_s == pytest.approx(tour.mission_time)
+
+    def test_final_energy_is_total(self, tour):
+        wps = tour_to_waypoints(tour)
+        assert wps[-1].energy_j == pytest.approx(tour.total_energy)
+
+    def test_etas_monotone(self, tour):
+        wps = tour_to_waypoints(tour)
+        etas = [w.eta_s for w in wps]
+        assert all(b >= a for a, b in zip(etas, etas[1:]))
+
+    def test_holds_match_sojourns(self, tour):
+        wps = tour_to_waypoints(tour)
+        np.testing.assert_allclose([w.hold_s for w in wps[:-1]],
+                                   tour.sojourns)
+
+    def test_altitude_applied(self, tour):
+        wps = tour_to_waypoints(tour, altitude=30.0)
+        assert all(w.altitude == 30.0 for w in wps)
+
+
+class TestRoundTrip:
+    def test_waypoints_round_trip(self, tour, small_net, energy):
+        wps = tour_to_waypoints(tour)
+        back = waypoints_to_tour(wps, small_net, energy,
+                                 collected=tour.collected)
+        np.testing.assert_allclose(back.points, tour.points)
+        np.testing.assert_allclose(back.sojourns, tour.sojourns)
+        assert back.total_energy == pytest.approx(tour.total_energy)
+
+    def test_plan_dict_round_trip(self, tour, small_net, energy):
+        plan = tour_to_plan_dict(tour, altitude=25.0)
+        back = plan_dict_to_tour(plan, small_net, energy)
+        np.testing.assert_allclose(back.points, tour.points)
+        np.testing.assert_allclose(back.sojourns, tour.sojourns)
+
+    def test_empty_waypoints_rejected(self, small_net, energy):
+        with pytest.raises(InvalidParameterError):
+            waypoints_to_tour([], small_net, energy)
+
+
+class TestPlanDocument:
+    def test_schema_and_structure(self, tour):
+        plan = tour_to_plan_dict(tour)
+        assert plan["schema"] == PLAN_SCHEMA
+        assert plan["mission"]["cruiseSpeed"] == tour.energy.speed
+        assert len(plan["mission"]["items"]) == len(tour.points) + 1
+
+    def test_loiter_commands_only_at_hovers(self, tour):
+        plan = tour_to_plan_dict(tour)
+        for item, hold in zip(plan["mission"]["items"],
+                              list(tour.sojourns) + [0.0]):
+            expected = 19 if hold > 0 else 16
+            assert item["command"] == expected
+
+    def test_json_serialises(self, tour):
+        doc = json.loads(tour_to_plan_json(tour))
+        assert doc["schema"] == PLAN_SCHEMA
+
+    def test_meta_carries_claims(self, tour):
+        plan = tour_to_plan_dict(tour)
+        assert plan["meta"]["collected_mb"] == pytest.approx(
+            tour.collected_volume)
+
+    def test_bad_schema_rejected(self, tour, small_net, energy):
+        plan = tour_to_plan_dict(tour)
+        plan["schema"] = "other/1"
+        with pytest.raises(InvalidParameterError):
+            plan_dict_to_tour(plan, small_net, energy)
+
+    def test_malformed_items_rejected(self, tour, small_net, energy):
+        plan = tour_to_plan_dict(tour)
+        plan["mission"]["items"][0] = {"type": "SimpleItem"}
+        with pytest.raises(InvalidParameterError):
+            plan_dict_to_tour(plan, small_net, energy)
+
+
+class TestCsv:
+    def test_header_and_rows(self, tour):
+        text = tour_to_csv(tour)
+        lines = text.strip().splitlines()
+        assert lines[0] == "index,x_m,y_m,alt_m,hold_s,eta_s,energy_j"
+        assert len(lines) == len(tour.points) + 2  # header + points + return
+
+    def test_csv_parses_numerically(self, tour):
+        import csv as csv_mod
+        import io
+        rows = list(csv_mod.DictReader(io.StringIO(tour_to_csv(tour))))
+        assert float(rows[-1]["eta_s"]) == pytest.approx(tour.mission_time,
+                                                         abs=1e-3)

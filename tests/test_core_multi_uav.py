@@ -1,0 +1,120 @@
+"""Unit tests for the multi-UAV extension (repro.core.multi_uav)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_uav import (
+    partition_kmeans,
+    partition_sectors,
+    plan_fleet,
+)
+from repro.core.planner import plan_tour
+from repro.core.tour import validate_tour_feasibility
+from repro.utils.errors import InvalidParameterError
+
+
+class TestPartitionSectors:
+    def test_every_sensor_assigned(self, small_net):
+        a = partition_sectors(small_net, 3)
+        assert a.shape == (small_net.n_nodes,)
+        assert set(np.unique(a)) <= {0, 1, 2}
+
+    def test_balanced_counts(self, small_net):
+        a = partition_sectors(small_net, 4)
+        counts = np.bincount(a, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_uav_gets_all(self, small_net):
+        a = partition_sectors(small_net, 1)
+        assert (a == 0).all()
+
+    def test_sectors_are_angularly_contiguous(self, small_net):
+        a = partition_sectors(small_net, 3)
+        rel = small_net.positions - small_net.depot[None, :]
+        angles = np.arctan2(rel[:, 1], rel[:, 0])
+        order = np.argsort(angles, kind="stable")
+        labels_in_order = a[order]
+        # Sorted by angle, the labels must form contiguous runs.
+        changes = int((np.diff(labels_in_order) != 0).sum())
+        assert changes <= 2  # 3 runs -> 2 boundaries
+
+    def test_empty_network(self, generator):
+        net = generator.uniform(0, seed=0)
+        assert len(partition_sectors(net, 2)) == 0
+
+    def test_invalid_count(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            partition_sectors(small_net, 0)
+
+
+class TestPartitionKmeans:
+    def test_every_sensor_assigned(self, small_net):
+        a = partition_kmeans(small_net, 3, seed=0)
+        assert a.shape == (small_net.n_nodes,)
+        assert a.max() < 3 and a.min() >= 0
+
+    def test_deterministic_given_seed(self, small_net):
+        np.testing.assert_array_equal(partition_kmeans(small_net, 3, seed=4),
+                                      partition_kmeans(small_net, 3, seed=4))
+
+    def test_more_uavs_than_sensors(self, generator):
+        net = generator.uniform(3, seed=0)
+        a = partition_kmeans(net, 5, seed=0)
+        assert len(a) == 3
+
+    def test_clusters_follow_geography(self, clustered_net):
+        a = partition_kmeans(clustered_net, 3, seed=1)
+        # Sensors in the same spatial cluster should mostly share a label:
+        # mean intra-label distance << mean overall distance.
+        from repro.geometry.distance import pairwise_distances
+        d = pairwise_distances(clustered_net.positions)
+        same = a[:, None] == a[None, :]
+        np.fill_diagonal(same, False)
+        intra = d[same].mean()
+        overall = d[~np.eye(len(d), dtype=bool)].mean()
+        assert intra < overall
+
+
+class TestPlanFleet:
+    def test_fleet_tours_feasible(self, small_net, radio, energy):
+        plan = plan_fleet(small_net, energy, radio, n_uavs=3,
+                          method="algorithm2", delta=25.0)
+        assert plan.n_uavs == 3
+        for tour in plan.tours:
+            assert validate_tour_feasibility(tour, radio=radio).feasible
+
+    def test_disjoint_collection(self, small_net, radio, energy):
+        plan = plan_fleet(small_net, energy, radio, n_uavs=3,
+                          method="algorithm2", delta=25.0)
+        # Per-sensor totals never exceed stored volume (disjoint sectors).
+        assert (plan.collected <= small_net.volumes + 1e-9).all()
+
+    def test_fleet_beats_single_uav(self, clustered_net, radio, energy):
+        single = plan_tour(clustered_net, energy, radio,
+                           method="algorithm2", delta=25.0)
+        fleet = plan_fleet(clustered_net, energy, radio, n_uavs=3,
+                           method="algorithm2", delta=25.0)
+        # 3 batteries >= 1 battery of collection (same per-UAV capacity).
+        assert fleet.collected_volume >= single.collected_volume - 1e-6
+
+    def test_makespan_is_max(self, small_net, radio, energy):
+        plan = plan_fleet(small_net, energy, radio, n_uavs=2,
+                          method="algorithm2", delta=25.0)
+        assert plan.makespan == pytest.approx(
+            max(t.mission_time for t in plan.tours))
+
+    def test_kmeans_partition_mode(self, small_net, radio, energy):
+        plan = plan_fleet(small_net, energy, radio, n_uavs=2,
+                          method="algorithm2", partition="kmeans",
+                          delta=25.0, seed=0)
+        assert plan.n_uavs == 2
+
+    def test_benchmark_method(self, small_net, radio, energy):
+        plan = plan_fleet(small_net, energy, radio, n_uavs=2,
+                          method="benchmark")
+        assert plan.collected_volume >= 0
+
+    def test_unknown_partition_rejected(self, small_net, radio, energy):
+        with pytest.raises(InvalidParameterError):
+            plan_fleet(small_net, energy, radio, n_uavs=2,
+                       partition="voronoi")

@@ -1,0 +1,130 @@
+"""Unit tests for the periodic multi-round collection extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodic import PeriodicReport, RoundRecord, run_periodic_collection
+from repro.energy.model import EnergyModel
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def fast_energy():
+    """A battery that comfortably clears a small instance each round."""
+    return EnergyModel(capacity=1e5, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+@pytest.fixture
+def weak_energy():
+    """A battery that cannot keep up with regeneration."""
+    return EnergyModel(capacity=3e3, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+class TestMechanics:
+    def test_round_count(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=4, delta=25.0)
+        assert len(report.rounds) == 4
+        assert [r.round_index for r in report.rounds] == [0, 1, 2, 3]
+
+    def test_conservation_per_round(self, small_net, radio, fast_energy):
+        # backlog_after = backlog_before + generated - overflow - collected.
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=3, delta=25.0)
+        prev = small_net.total_volume
+        for r in report.rounds:
+            expected = prev + r.generated - r.overflowed - r.collected
+            assert r.backlog_after == pytest.approx(expected, abs=1e-6)
+            prev = r.backlog_after
+
+    def test_start_empty(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=2, delta=25.0,
+                                         start_empty=True)
+        # First round backlog is exactly one period of generation minus
+        # whatever was collected.
+        r0 = report.rounds[0]
+        assert r0.backlog_after == pytest.approx(
+            r0.generated - r0.collected, abs=1e-6)
+
+    def test_default_rates_regenerate_initial_volumes(self, small_net, radio,
+                                                      fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=1, delta=25.0)
+        assert report.rounds[0].generated == pytest.approx(
+            small_net.total_volume)
+
+    def test_custom_rates(self, small_net, radio, fast_energy):
+        rates = np.full(small_net.n_nodes, 0.1)
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         rates=rates, period=100.0,
+                                         n_rounds=1, delta=25.0)
+        assert report.rounds[0].generated == pytest.approx(
+            0.1 * 100.0 * small_net.n_nodes)
+
+    def test_rate_shape_validated(self, small_net, radio, fast_energy):
+        with pytest.raises(InvalidParameterError):
+            run_periodic_collection(small_net, fast_energy, radio,
+                                    rates=np.array([1.0]), n_rounds=1)
+
+    def test_negative_rate_rejected(self, small_net, radio, fast_energy):
+        rates = np.full(small_net.n_nodes, -0.1)
+        with pytest.raises(InvalidParameterError):
+            run_periodic_collection(small_net, fast_energy, radio,
+                                    rates=rates, n_rounds=1)
+
+
+class TestBufferOverflow:
+    def test_overflow_tracked(self, small_net, radio, weak_energy):
+        report = run_periodic_collection(small_net, weak_energy, radio,
+                                         n_rounds=4, delta=25.0,
+                                         buffer_limit=300.0)
+        assert report.total_lost > 0
+        # Buffers never exceed the cap after clamping.
+        assert (report.final_backlog <= 300.0 + 1e-6).all()
+
+    def test_no_limit_no_loss(self, small_net, radio, weak_energy):
+        report = run_periodic_collection(small_net, weak_energy, radio,
+                                         n_rounds=3, delta=25.0)
+        assert report.total_lost == 0.0
+
+
+class TestSustainability:
+    def test_strong_uav_is_sustainable(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=8, delta=25.0)
+        assert report.is_sustainable()
+
+    def test_weak_uav_is_not(self, small_net, radio, weak_energy):
+        report = run_periodic_collection(small_net, weak_energy, radio,
+                                         n_rounds=8, delta=25.0)
+        assert not report.is_sustainable()
+        # Backlog grows round over round.
+        traj = report.backlog_trajectory
+        assert traj[-1] > traj[0]
+
+    def test_sustainability_needs_enough_rounds(self, small_net, radio,
+                                                fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=3, delta=25.0)
+        with pytest.raises(InvalidParameterError):
+            report.is_sustainable(tail=3)
+
+    def test_total_collected_aggregates(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=3, delta=25.0)
+        assert report.total_collected == pytest.approx(
+            sum(r.collected for r in report.rounds))
+
+    def test_benchmark_method_supported(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(small_net, fast_energy, radio,
+                                         n_rounds=2, method="benchmark")
+        assert len(report.rounds) == 2
+
+    def test_algorithm3_method_supported(self, small_net, radio, fast_energy):
+        report = run_periodic_collection(
+            small_net, fast_energy, radio, n_rounds=2, method="algorithm3",
+            delta=25.0, planner_kwargs={"K": 2})
+        assert len(report.rounds) == 2

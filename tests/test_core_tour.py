@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.tour (CollectionTour + validator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tour import CollectionTour, validate_tour_feasibility
+from repro.utils.errors import InfeasibleTourError, InvalidParameterError
+
+
+@pytest.fixture
+def simple_tour(small_net, energy):
+    """Depot -> hover over sensor 0 -> back, collecting sensor 0 fully."""
+    collected = np.zeros(small_net.n_nodes)
+    collected[0] = small_net.volumes[0]
+    sojourn = small_net.volumes[0] / 150.0  # bandwidth of the radio fixture
+    points = np.vstack([small_net.depot, small_net.positions[0]])
+    return CollectionTour(points=points,
+                          sojourns=np.array([0.0, sojourn]),
+                          collected=collected,
+                          network=small_net, energy=energy, method="manual")
+
+
+class TestDerivedQuantities:
+    def test_travel_distance_out_and_back(self, simple_tour, small_net):
+        d = np.linalg.norm(small_net.positions[0] - small_net.depot)
+        assert simple_tour.travel_distance == pytest.approx(2 * d)
+
+    def test_time_decomposition(self, simple_tour):
+        assert simple_tour.mission_time == pytest.approx(
+            simple_tour.hover_time + simple_tour.travel_time)
+
+    def test_energy_decomposition(self, simple_tour):
+        assert simple_tour.total_energy == pytest.approx(
+            simple_tour.hover_energy + simple_tour.travel_energy)
+
+    def test_collected_volume(self, simple_tour, small_net):
+        assert simple_tour.collected_volume == pytest.approx(
+            small_net.volumes[0])
+
+    def test_n_hovers_counts_positive_sojourns(self, simple_tour):
+        assert simple_tour.n_hovers == 1
+
+    def test_energy_slack(self, simple_tour, energy):
+        assert simple_tour.energy_slack == pytest.approx(
+            energy.capacity - simple_tour.total_energy)
+
+
+class TestConstructionValidation:
+    def test_rejects_empty_points(self, small_net, energy):
+        with pytest.raises(InvalidParameterError):
+            CollectionTour(points=np.empty((0, 2)), sojourns=np.empty(0),
+                           collected=np.zeros(small_net.n_nodes),
+                           network=small_net, energy=energy)
+
+    def test_rejects_sojourn_mismatch(self, small_net, energy):
+        with pytest.raises(InvalidParameterError):
+            CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([0.0, 1.0]),
+                           collected=np.zeros(small_net.n_nodes),
+                           network=small_net, energy=energy)
+
+    def test_rejects_negative_sojourn(self, small_net, energy):
+        with pytest.raises(InvalidParameterError):
+            CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([-1.0]),
+                           collected=np.zeros(small_net.n_nodes),
+                           network=small_net, energy=energy)
+
+    def test_rejects_collected_shape(self, small_net, energy):
+        with pytest.raises(InvalidParameterError):
+            CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([0.0]),
+                           collected=np.zeros(3),
+                           network=small_net, energy=energy)
+
+    def test_depot_only_tour_ok(self, small_net, energy):
+        t = CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([0.0]),
+                           collected=np.zeros(small_net.n_nodes),
+                           network=small_net, energy=energy)
+        assert t.total_energy == 0.0
+        assert t.collected_volume == 0.0
+
+
+class TestValidator:
+    def test_valid_tour_passes(self, simple_tour, radio):
+        report = validate_tour_feasibility(simple_tour, radio=radio)
+        assert report.feasible
+        assert not report.violations
+
+    def test_energy_utilisation(self, simple_tour, radio):
+        report = validate_tour_feasibility(simple_tour, radio=radio)
+        assert 0 < report.energy_utilisation < 1
+
+    def test_detects_energy_overdraw(self, simple_tour, small_net):
+        from repro.energy.model import EnergyModel
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        bad = CollectionTour(points=simple_tour.points,
+                             sojourns=simple_tour.sojourns,
+                             collected=simple_tour.collected,
+                             network=small_net, energy=tiny)
+        with pytest.raises(InfeasibleTourError):
+            validate_tour_feasibility(bad)
+
+    def test_detects_over_collection(self, simple_tour, small_net, energy, radio):
+        over = simple_tour.collected.copy()
+        over[0] = small_net.volumes[0] + 5.0
+        with pytest.raises(InvalidParameterError):
+            # Over-collection beyond stored volume is caught at construction.
+            CollectionTour(points=simple_tour.points,
+                           sojourns=simple_tour.sojourns,
+                           collected=-over,  # also negative -> invalid
+                           network=small_net, energy=energy)
+        bad = CollectionTour(points=simple_tour.points,
+                             sojourns=simple_tour.sojourns,
+                             collected=over,
+                             network=small_net, energy=energy)
+        with pytest.raises(InfeasibleTourError, match="over-collected"):
+            validate_tour_feasibility(bad, radio=radio)
+
+    def test_detects_uncovered_collection(self, small_net, energy, radio):
+        # Claim collection from a sensor while hovering nowhere near it.
+        far_sensor = int(np.argmax(
+            np.linalg.norm(small_net.positions - small_net.depot, axis=1)))
+        collected = np.zeros(small_net.n_nodes)
+        collected[far_sensor] = small_net.volumes[far_sensor]
+        bad = CollectionTour(points=small_net.depot[None, :],
+                             sojourns=np.array([10.0]),
+                             collected=collected,
+                             network=small_net, energy=energy)
+        with pytest.raises(InfeasibleTourError):
+            validate_tour_feasibility(bad, radio=radio)
+
+    def test_detects_insufficient_sojourn(self, simple_tour, small_net,
+                                          energy, radio):
+        # Halve the sojourn but keep the full-collection claim.
+        bad = CollectionTour(points=simple_tour.points,
+                             sojourns=simple_tour.sojourns / 2,
+                             collected=simple_tour.collected,
+                             network=small_net, energy=energy)
+        with pytest.raises(InfeasibleTourError):
+            validate_tour_feasibility(bad, radio=radio)
+
+    def test_detects_wrong_depot(self, simple_tour, small_net, energy, radio):
+        shifted = simple_tour.points.copy()
+        shifted[0] += 10.0
+        bad = CollectionTour(points=shifted, sojourns=simple_tour.sojourns,
+                             collected=simple_tour.collected,
+                             network=small_net, energy=energy)
+        with pytest.raises(InfeasibleTourError, match="depot"):
+            validate_tour_feasibility(bad, radio=radio)
+
+    def test_non_strict_returns_report(self, simple_tour, small_net, radio):
+        from repro.energy.model import EnergyModel
+        tiny = EnergyModel(capacity=1.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        bad = CollectionTour(points=simple_tour.points,
+                             sojourns=simple_tour.sojourns,
+                             collected=simple_tour.collected,
+                             network=small_net, energy=tiny)
+        report = validate_tour_feasibility(bad, radio=radio, strict=False)
+        assert not report.feasible
+        assert report.violations
+
+    def test_without_radio_skips_coverage_check(self, small_net, energy):
+        # The uncovered-collection tour passes checks 1-3 (energy ok,
+        # depot ok, conservation ok) when no radio model is supplied.
+        collected = np.zeros(small_net.n_nodes)
+        collected[0] = small_net.volumes[0]
+        t = CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([1.0]),
+                           collected=collected,
+                           network=small_net, energy=energy)
+        report = validate_tour_feasibility(t)
+        assert report.feasible

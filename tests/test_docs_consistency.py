@@ -1,0 +1,115 @@
+"""Documentation–code consistency checks.
+
+A reproduction repo's documents rot silently; these tests pin the
+load-bearing statements in README / DESIGN / EXPERIMENTS to the artifacts
+and code they describe.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    path = ROOT / name
+    assert path.exists(), f"{name} missing"
+    return path.read_text()
+
+
+class TestReadme:
+    def test_examples_listed_exist(self):
+        text = read("README.md")
+        for match in re.finditer(r"examples/(\w+)\.py", text):
+            assert (ROOT / "examples" / f"{match.group(1)}.py").exists(), \
+                match.group(0)
+
+    def test_docs_links_exist(self):
+        text = read("README.md")
+        for match in re.finditer(r"\((docs/\w+\.md|DESIGN\.md|EXPERIMENTS\.md)\)",
+                                 text):
+            assert (ROOT / match.group(1)).exists(), match.group(0)
+
+    def test_planner_table_matches_registry(self):
+        from repro import PLANNERS
+        text = read("README.md")
+        for method in PLANNERS:
+            assert f"`{method}`" in text, method
+
+
+class TestDesign:
+    def test_mentioned_bench_modules_exist(self):
+        text = read("DESIGN.md")
+        for match in re.finditer(r"bench_\w+\.py", text):
+            assert (ROOT / "benchmarks" / match.group(0)).exists(), \
+                match.group(0)
+
+    def test_mentioned_runner_modules_exist(self):
+        import importlib
+        text = read("DESIGN.md")
+        for match in set(re.finditer(r"repro\.experiments\.fig\d", text)):
+            importlib.import_module(match.group(0))
+
+    def test_substitutions_enumerated(self):
+        text = read("DESIGN.md")
+        for tag in ("S1", "S2", "S3", "S4"):
+            assert f"**{tag}" in text, tag
+
+
+class TestExperimentsDocument:
+    @pytest.fixture(scope="class")
+    def results(self):
+        results_dir = ROOT / "results"
+        if not (results_dir / "fig4_reduced.csv").exists():
+            pytest.skip("committed results not present")
+        from repro.experiments.report import load_results_dir
+        return load_results_dir(results_dir)
+
+    def test_fig4_table_matches_csv(self, results):
+        # The Fig. 4(a) markdown table's first row must match the CSV.
+        text = read("EXPERIMENTS.md")
+        fig4 = results["fig4"]
+        row10 = [r for r in fig4.series("Algorithm 2")
+                 if r.param_value == 10.0][0]
+        assert f"{row10.mean_volume_gb:.2f}" in text
+
+    def test_claims_all_pass_on_committed_data(self, results):
+        from repro.experiments.claims import check_all_claims
+        claims = check_all_claims(fig3=results.get("fig3"),
+                                  fig4=results.get("fig4"),
+                                  fig5=results.get("fig5"))
+        failed = [c for c in claims if not c.passed]
+        assert not failed, [str(c) for c in failed]
+
+    def test_headline_ratio_documented_accurately(self, results):
+        # EXPERIMENTS.md states the C1 ratio (Alg.1 / benchmark at the
+        # smallest budget) as 2.62x; recompute it from the data.
+        fig3 = results["fig3"]
+        a1 = fig3.series("Algorithm 1")[0].mean_volume_gb
+        bench = fig3.series("Benchmark")[0].mean_volume_gb
+        assert f"{a1 / bench:.2f}" in read("EXPERIMENTS.md")
+
+    def test_svg_panels_exist_for_every_figure(self):
+        results_dir = ROOT / "results"
+        if not (results_dir / "fig3a_reduced.svg").exists():
+            pytest.skip("committed SVGs not present")
+        for fig in ("fig3", "fig4", "fig5"):
+            for suffix in ("a", "b"):
+                assert (results_dir / f"{fig}{suffix}_reduced.svg").exists()
+
+
+class TestDocsDirectory:
+    def test_algorithm_mapping_names_real_modules(self):
+        import importlib
+        text = read("docs/algorithms.md")
+        for match in set(re.finditer(r"`repro/([\w/]+)\.py`", text)):
+            mod = "repro." + match.group(1).replace("/", ".")
+            importlib.import_module(mod)
+
+    def test_architecture_mentions_all_subpackages(self):
+        text = read("docs/architecture.md")
+        for pkg in ("geometry", "network", "energy", "radio", "tsp",
+                    "orienteering", "core", "sim", "experiments", "utils"):
+            assert pkg in text, pkg

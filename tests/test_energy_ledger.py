@@ -1,0 +1,92 @@
+"""Unit tests for repro.energy.ledger."""
+
+import pytest
+
+from repro.energy.ledger import EnergyLedger
+from repro.energy.model import EnergyModel
+from repro.utils.errors import InfeasibleTourError, InvalidParameterError
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(capacity=1000.0, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+class TestDebits:
+    def test_travel_debit(self, model):
+        ledger = EnergyLedger(model)
+        entry = ledger.debit_travel(30.0)
+        assert entry.activity == "travel"
+        assert entry.duration == 3.0
+        assert entry.energy == 300.0
+        assert ledger.spent == 300.0
+
+    def test_hover_debit(self, model):
+        ledger = EnergyLedger(model)
+        entry = ledger.debit_hover(2.0, note="site 3")
+        assert entry.activity == "hover"
+        assert entry.energy == 300.0
+        assert entry.note == "site 3"
+
+    def test_accumulation(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_travel(30.0)
+        ledger.debit_hover(2.0)
+        assert ledger.spent == 600.0
+        assert ledger.remaining == 400.0
+
+    def test_time_totals(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_travel(30.0)  # 3 s, 300 J
+        ledger.debit_travel(20.0)  # 2 s, 200 J
+        ledger.debit_hover(3.0)    # 450 J; total 950 J < 1000 J
+        assert ledger.travel_time == pytest.approx(5.0)
+        assert ledger.hover_time == pytest.approx(3.0)
+
+    def test_zero_debits_allowed(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_travel(0.0)
+        ledger.debit_hover(0.0)
+        assert ledger.spent == 0.0
+
+    def test_negative_rejected(self, model):
+        ledger = EnergyLedger(model)
+        with pytest.raises(InvalidParameterError):
+            ledger.debit_travel(-1.0)
+
+    def test_entries_are_copies(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_hover(1.0)
+        entries = ledger.entries
+        entries.clear()
+        assert len(ledger.entries) == 1
+
+
+class TestOverdraw:
+    def test_strict_raises_at_overdraw(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_travel(90.0)  # 900 J
+        with pytest.raises(InfeasibleTourError) as exc_info:
+            ledger.debit_hover(1.0)  # +150 J > 1000 J
+        assert exc_info.value.available == 1000.0
+        # The failed debit must not be recorded.
+        assert ledger.spent == 900.0
+        assert len(ledger.entries) == 1
+
+    def test_exact_capacity_allowed(self, model):
+        ledger = EnergyLedger(model)
+        ledger.debit_travel(100.0)  # exactly 1000 J
+        assert ledger.remaining == pytest.approx(0.0)
+        assert not ledger.overdrawn
+
+    def test_non_strict_records_overdraw(self, model):
+        ledger = EnergyLedger(model, strict=False)
+        ledger.debit_travel(90.0)
+        ledger.debit_hover(10.0)  # 900 + 1500 J
+        assert ledger.overdrawn
+        assert ledger.remaining < 0
+
+    def test_requires_energy_model(self):
+        with pytest.raises(InvalidParameterError):
+            EnergyLedger("not a model")

@@ -1,0 +1,83 @@
+"""Unit tests for repro.energy.model."""
+
+import pytest
+
+from repro.energy.model import EnergyModel, PAPER_ENERGY_MODEL
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(capacity=1000.0, hover_power=150.0,
+                       travel_power=100.0, speed=10.0)
+
+
+class TestConstruction:
+    def test_paper_preset(self):
+        assert PAPER_ENERGY_MODEL.capacity == 3e5
+        assert PAPER_ENERGY_MODEL.hover_power == 150.0
+        assert PAPER_ENERGY_MODEL.travel_power == 100.0
+        assert PAPER_ENERGY_MODEL.speed == 10.0
+
+    @pytest.mark.parametrize("field", ["capacity", "hover_power",
+                                       "travel_power", "speed"])
+    def test_rejects_non_positive(self, field):
+        kwargs = dict(capacity=1.0, hover_power=1.0,
+                      travel_power=1.0, speed=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(InvalidParameterError):
+            EnergyModel(**kwargs)
+
+    def test_frozen(self, model):
+        with pytest.raises(AttributeError):
+            model.capacity = 5.0
+
+
+class TestConversions:
+    def test_travel_cost_per_meter(self, model):
+        # eta_t / speed = 100 / 10 = 10 J/m.
+        assert model.travel_cost_per_meter == 10.0
+
+    def test_travel_time(self, model):
+        assert model.travel_time(100.0) == 10.0
+
+    def test_travel_energy(self, model):
+        assert model.travel_energy(50.0) == 500.0
+
+    def test_hover_energy(self, model):
+        assert model.hover_energy(2.0) == 300.0
+
+    def test_tour_energy_combines(self, model):
+        assert model.tour_energy(travel_distance=50.0, hover_duration=2.0) == 800.0
+
+    def test_zero_distance(self, model):
+        assert model.travel_energy(0.0) == 0.0
+
+    def test_negative_distance_rejected(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.travel_energy(-1.0)
+
+    def test_negative_duration_rejected(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.hover_energy(-1.0)
+
+
+class TestBudgetViews:
+    def test_max_travel_distance(self, model):
+        assert model.max_travel_distance() == 100.0
+
+    def test_max_hover_duration(self, model):
+        assert model.max_hover_duration() == pytest.approx(1000.0 / 150.0)
+
+    def test_remaining_hover_time(self, model):
+        # 50 m of travel costs 500 J; 500 J left / 150 J/s hover.
+        assert model.remaining_hover_time(50.0) == pytest.approx(500.0 / 150.0)
+
+    def test_remaining_hover_time_negative_when_overdrawn(self, model):
+        assert model.remaining_hover_time(200.0) < 0
+
+    def test_with_capacity(self, model):
+        bigger = model.with_capacity(2000.0)
+        assert bigger.capacity == 2000.0
+        assert bigger.hover_power == model.hover_power
+        assert model.capacity == 1000.0  # original unchanged

@@ -1,0 +1,102 @@
+"""Tests for the two travel-energy readings (EnergyModel.distance_based_travel)."""
+
+import pytest
+
+from repro.energy.model import (
+    EnergyModel,
+    PAPER_ENERGY_MODEL,
+    PAPER_LITERAL_ENERGY_MODEL,
+)
+
+
+class TestReadings:
+    def test_physical_cost_per_meter(self):
+        assert PAPER_ENERGY_MODEL.travel_cost_per_meter == 10.0  # 100/10
+
+    def test_literal_cost_per_meter(self):
+        assert PAPER_LITERAL_ENERGY_MODEL.travel_cost_per_meter == 100.0
+
+    def test_literal_is_10x_physical_here(self):
+        d = 123.0
+        assert PAPER_LITERAL_ENERGY_MODEL.travel_energy(d) == pytest.approx(
+            10.0 * PAPER_ENERGY_MODEL.travel_energy(d))
+
+    def test_travel_time_reading_independent(self):
+        assert PAPER_ENERGY_MODEL.travel_time(100.0) == \
+            PAPER_LITERAL_ENERGY_MODEL.travel_time(100.0) == 10.0
+
+    def test_hover_energy_reading_independent(self):
+        assert PAPER_ENERGY_MODEL.hover_energy(2.0) == \
+            PAPER_LITERAL_ENERGY_MODEL.hover_energy(2.0)
+
+    def test_max_travel_distance_scales(self):
+        assert PAPER_ENERGY_MODEL.max_travel_distance() == pytest.approx(
+            10.0 * PAPER_LITERAL_ENERGY_MODEL.max_travel_distance())
+
+    def test_with_capacity_preserves_reading(self):
+        m = PAPER_LITERAL_ENERGY_MODEL.with_capacity(5e5)
+        assert m.distance_based_travel
+        assert m.travel_cost_per_meter == 100.0
+
+
+class TestPlannersUnderLiteralReading:
+    def test_tours_feasible_under_literal(self, small_net, radio):
+        from repro.core.planner import plan_tour
+        from repro.core.tour import validate_tour_feasibility
+        energy = EnergyModel(capacity=2e5, hover_power=150.0,
+                             travel_power=100.0, speed=10.0,
+                             distance_based_travel=True)
+        for method, kw in [("algorithm2", {"delta": 25.0}),
+                           ("algorithm3", {"delta": 25.0, "K": 2}),
+                           ("benchmark", {})]:
+            tour = plan_tour(small_net, energy, radio, method=method, **kw)
+            assert validate_tour_feasibility(tour, radio=radio).feasible
+
+    def test_literal_collects_no_more_than_physical(self, small_net, radio):
+        # Same capacity, 10x dearer travel -> never more data.
+        from repro.core.algorithm2 import plan_algorithm2
+        cap = 2e4
+        physical = EnergyModel(capacity=cap, hover_power=150.0,
+                               travel_power=100.0, speed=10.0)
+        literal = EnergyModel(capacity=cap, hover_power=150.0,
+                              travel_power=100.0, speed=10.0,
+                              distance_based_travel=True)
+        vp = plan_algorithm2(small_net, physical, radio,
+                             delta=25.0).collected_volume
+        vl = plan_algorithm2(small_net, literal, radio,
+                             delta=25.0).collected_volume
+        assert vl <= vp + 1e-6
+
+    def test_simulator_respects_reading(self, small_net, radio):
+        from repro.core.algorithm2 import plan_algorithm2
+        from repro.sim import cross_validate
+        energy = EnergyModel(capacity=1e5, hover_power=150.0,
+                             travel_power=100.0, speed=10.0,
+                             distance_based_travel=True)
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0)
+        report = cross_validate(tour, radio)
+        assert report.ok
+
+    def test_paper_preset_uses_literal(self):
+        from repro.experiments.config import paper_settings, reduced_settings
+        assert paper_settings().energy_model().distance_based_travel
+        assert not reduced_settings().energy_model().distance_based_travel
+
+
+class TestScoringPolicies:
+    def test_unknown_policy_rejected(self, small_net, radio, energy):
+        from repro.core.algorithm2 import plan_algorithm2
+        from repro.utils.errors import InvalidParameterError
+        with pytest.raises(InvalidParameterError):
+            plan_algorithm2(small_net, energy, radio, delta=25.0,
+                            scoring="psychic")
+
+    @pytest.mark.parametrize("scoring", ["award", "proximity", "hover_ratio"])
+    def test_ablation_policies_feasible(self, small_net, radio, energy,
+                                        scoring):
+        from repro.core.algorithm2 import plan_algorithm2
+        from repro.core.tour import validate_tour_feasibility
+        tour = plan_algorithm2(small_net, energy, radio, delta=25.0,
+                               scoring=scoring)
+        assert validate_tour_feasibility(tour, radio=radio).feasible
+        assert tour.meta["scoring"] == scoring

@@ -1,0 +1,73 @@
+"""Unit tests for repro.experiments.ascii_plot."""
+
+import pytest
+
+from repro.experiments.ascii_plot import MARKERS, render_series, render_sweep
+from repro.experiments.config import reduced_settings
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.utils.errors import InvalidParameterError
+
+
+def make_result():
+    cfg = reduced_settings()
+    rows = []
+    for i, v in enumerate((1e4, 2e4, 3e4)):
+        rows.append(SweepRow("capacity", v, "Algorithm 2",
+                             mean_volume_gb=10.0 + i, std_volume_gb=0.1,
+                             mean_time_s=0.5 * (i + 1), std_time_s=0.01,
+                             n_instances=3))
+        rows.append(SweepRow("capacity", v, "Benchmark",
+                             mean_volume_gb=5.0 + i, std_volume_gb=0.1,
+                             mean_time_s=0.2, std_time_s=0.01,
+                             n_instances=3))
+    return SweepResult(config=cfg, rows=rows)
+
+
+class TestRenderSeries:
+    def test_contains_markers_and_legend(self):
+        out = render_series([1, 2, 3], {"A": [1, 2, 3], "B": [3, 2, 1]})
+        assert MARKERS[0] in out and MARKERS[1] in out
+        assert "A" in out and "B" in out
+
+    def test_axis_bounds_printed(self):
+        out = render_series([0, 10], {"A": [2.0, 8.0]})
+        assert "8.00" in out and "2.00" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series([1, 2], {"A": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series([1, 2], {})
+
+    def test_constant_series_renders(self):
+        out = render_series([1, 2, 3], {"A": [5.0, 5.0, 5.0]})
+        assert MARKERS[0] in out
+
+    def test_dimensions_respected(self):
+        out = render_series([1, 2], {"A": [1.0, 2.0]}, width=30, height=8)
+        chart_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(chart_lines) == 8
+        assert all(len(l) <= 12 + 30 for l in chart_lines)
+
+
+class TestRenderSweep:
+    def test_volume_panel(self):
+        out = render_sweep(make_result(), panel="volume")
+        assert "collected data volume (GB)" in out
+        assert "Algorithm 2" in out and "Benchmark" in out
+        assert "capacity" in out
+
+    def test_time_panel(self):
+        out = render_sweep(make_result(), panel="time")
+        assert "planning time (s)" in out
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_sweep(make_result(), panel="cost")
+
+    def test_empty_result_rejected(self):
+        empty = SweepResult(config=reduced_settings(), rows=[])
+        with pytest.raises(InvalidParameterError):
+            render_sweep(empty)

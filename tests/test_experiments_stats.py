@@ -1,0 +1,137 @@
+"""Unit tests for repro.experiments.stats."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SweepRow
+from repro.experiments.stats import (
+    mean_confidence_interval,
+    paired_comparison,
+    row_confidence_interval,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo <= mean <= hi
+        assert mean == 2.5
+
+    def test_single_sample_degenerate(self):
+        mean, lo, hi = mean_confidence_interval([7.0])
+        assert mean == lo == hi == 7.0
+
+    def test_zero_variance_degenerate(self):
+        mean, lo, hi = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert lo == pytest.approx(hi) == pytest.approx(3.0)
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 2.0, 4.0, 8.0, 3.0]
+        _, lo95, hi95 = mean_confidence_interval(data, 0.95)
+        _, lo99, hi99 = mean_confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_coverage_simulation(self):
+        # ~95 % of intervals should contain the true mean.
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=12)
+            _, lo, hi = mean_confidence_interval(sample, 0.95)
+            hits += lo <= 10.0 <= hi
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestRowCI:
+    def make_row(self, n=5, std=1.0):
+        return SweepRow("capacity", 1e4, "A", mean_volume_gb=10.0,
+                        std_volume_gb=std, mean_time_s=0.5,
+                        std_time_s=0.1, n_instances=n)
+
+    def test_volume_metric(self):
+        mean, lo, hi = row_confidence_interval(self.make_row())
+        assert lo < 10.0 < hi
+
+    def test_time_metric(self):
+        mean, lo, hi = row_confidence_interval(self.make_row(), metric="time")
+        assert lo < 0.5 < hi
+
+    def test_single_instance_degenerate(self):
+        mean, lo, hi = row_confidence_interval(self.make_row(n=1))
+        assert lo == hi == mean
+
+    def test_more_instances_tighter(self):
+        _, lo5, hi5 = row_confidence_interval(self.make_row(n=5))
+        _, lo15, hi15 = row_confidence_interval(self.make_row(n=15))
+        assert hi15 - lo15 < hi5 - lo5
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            row_confidence_interval(self.make_row(), metric="energy")
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [10.0, 11.0, 12.0, 10.5, 11.5]
+        b = [8.0, 8.5, 9.0, 8.2, 8.8]
+        cmp = paired_comparison(a, b)
+        assert cmp.mean_diff > 0
+        assert cmp.wins == 5 and cmp.losses == 0
+        assert cmp.significant
+        assert "significantly" in cmp.verdict("A", "B")
+        assert cmp.verdict("A", "B").startswith("A")
+
+    def test_ties_counted(self):
+        cmp = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 2.0])
+        assert cmp.ties == 2 and cmp.wins == 1
+
+    def test_all_ties_p_one(self):
+        cmp = paired_comparison([1.0, 1.0], [1.0, 1.0])
+        assert cmp.p_sign == 1.0
+        assert not cmp.significant
+
+    def test_noisy_equal_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10, 1, 20)
+        b = a + rng.normal(0, 1, 20)  # same mean
+        cmp = paired_comparison(a, b)
+        assert not cmp.significant or abs(cmp.mean_diff) < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_verdict_names_loser_direction(self):
+        cmp = paired_comparison([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert cmp.verdict("Alg", "Bench").startswith("Bench")
+
+
+class TestOnRealSweep:
+    def test_alg2_beats_benchmark_significantly(self):
+        # Paired per-instance comparison on a real (tiny) sweep.
+        from repro.core.algorithm2 import plan_algorithm2
+        from repro.core.benchmark_alg import plan_benchmark
+        from repro.experiments.config import reduced_settings
+        from repro.experiments.instances import make_instances
+        cfg = reduced_settings().scaled(n_nodes=40, n_instances=6,
+                                        capacity=2.2e4, seed=9)
+        radio = cfg.radio_model()
+        energy = cfg.energy_model()
+        a_vols, b_vols = [], []
+        for net in make_instances(cfg):
+            a_vols.append(plan_algorithm2(net, energy, radio,
+                                          25.0).collected_volume)
+            b_vols.append(plan_benchmark(net, energy,
+                                         radio).collected_volume)
+        cmp = paired_comparison(a_vols, b_vols)
+        assert cmp.wins == 6 and cmp.significant

@@ -1,0 +1,126 @@
+"""Unit tests for repro.experiments.svg_plot."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.config import reduced_settings
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.svg_plot import (
+    PALETTE,
+    render_series_svg,
+    render_sweep_svg,
+)
+from repro.utils.errors import InvalidParameterError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def make_result():
+    cfg = reduced_settings()
+    rows = []
+    for i, v in enumerate((1e4, 2e4, 3e4)):
+        rows.append(SweepRow("capacity", v, "Algorithm 2",
+                             mean_volume_gb=10.0 + i, std_volume_gb=0.1,
+                             mean_time_s=0.5 * (i + 1), std_time_s=0.01,
+                             n_instances=3))
+        rows.append(SweepRow("capacity", v, "Benchmark",
+                             mean_volume_gb=5.0 + i, std_volume_gb=0.1,
+                             mean_time_s=0.2, std_time_s=0.01,
+                             n_instances=3))
+    return SweepResult(config=cfg, rows=rows)
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestRenderSeriesSvg:
+    def test_is_valid_xml(self):
+        svg = render_series_svg([1, 2, 3], {"A": [1, 2, 3]})
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        svg = render_series_svg([1, 2], {"A": [1, 2], "B": [2, 1]})
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        assert polylines[0].get("stroke") == PALETTE[0]
+        assert polylines[1].get("stroke") == PALETTE[1]
+
+    def test_markers_have_tooltips(self):
+        svg = render_series_svg([1, 2], {"A": [1.0, 2.0]})
+        root = parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        data_circles = [c for c in circles
+                        if c.find(f"{SVG_NS}title") is not None]
+        assert len(data_circles) == 2
+        assert "A:" in data_circles[0].find(f"{SVG_NS}title").text
+
+    def test_direct_labels_present(self):
+        svg = render_series_svg([1, 2], {"Algorithm 2": [1, 2],
+                                         "Benchmark": [2, 1]})
+        assert "Algorithm 2" in svg and "Benchmark" in svg
+
+    def test_legend_only_for_multiple_series(self):
+        single = render_series_svg([1, 2], {"A": [1, 2]})
+        multi = render_series_svg([1, 2], {"A": [1, 2], "B": [2, 1]})
+        # The legend adds one extra text per series beyond the direct label.
+        assert multi.count(">B<") == 2  # direct label + legend entry
+        assert single.count(">A<") == 1  # direct label only
+
+    def test_fixed_slot_assignment(self):
+        # Removing the first series must not repaint the second.
+        both = render_series_svg([1, 2], {"A": [1, 2], "B": [2, 1]})
+        root = parse(both)
+        b_line = root.findall(f"{SVG_NS}polyline")[1]
+        assert b_line.get("stroke") == PALETTE[1]
+
+    def test_too_many_series_rejected(self):
+        series = {f"S{i}": [1, 2] for i in range(9)}
+        with pytest.raises(InvalidParameterError):
+            render_series_svg([1, 2], series)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series_svg([1, 2], {"A": [1.0]})
+
+    def test_escapes_markup_in_names(self):
+        svg = render_series_svg([1, 2], {"<evil> & co": [1, 2]})
+        parse(svg)  # must stay well-formed
+        assert "<evil>" not in svg
+
+    def test_constant_series_renders(self):
+        svg = render_series_svg([1, 2, 3], {"A": [5.0, 5.0, 5.0]})
+        parse(svg)
+
+    def test_title_and_axis_labels(self):
+        svg = render_series_svg([1, 2], {"A": [1, 2]}, title="T",
+                                ylabel="Y", xlabel="X")
+        assert ">T<" in svg and ">Y<" in svg and ">X<" in svg
+
+
+class TestRenderSweepSvg:
+    def test_volume_panel(self):
+        svg = render_sweep_svg(make_result(), panel="volume")
+        parse(svg)
+        assert "collected data volume (GB)" in svg
+        assert "Algorithm 2" in svg
+
+    def test_time_panel(self):
+        svg = render_sweep_svg(make_result(), panel="time")
+        assert "planning time (s)" in svg
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_sweep_svg(make_result(), panel="chroma")
+
+    def test_empty_result_rejected(self):
+        empty = SweepResult(config=reduced_settings(), rows=[])
+        with pytest.raises(InvalidParameterError):
+            render_sweep_svg(empty)
+
+    def test_custom_title(self):
+        svg = render_sweep_svg(make_result(), title="Fig. 5(a)")
+        assert "Fig. 5(a)" in svg

@@ -1,0 +1,107 @@
+"""Unit tests for repro.geometry.distance."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    cross_distances,
+    euclidean,
+    pairwise_distances,
+    path_length,
+    tour_length,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestEuclidean:
+    def test_unit_distance(self):
+        assert euclidean((0, 0), (1, 0)) == 1.0
+
+    def test_diagonal(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean((2, 3), (2, 3)) == 0.0
+
+    def test_symmetry(self):
+        assert euclidean((1, 2), (5, -3)) == euclidean((5, -3), (1, 2))
+
+
+class TestPairwiseDistances:
+    def test_shape(self, rng):
+        pts = rng.uniform(0, 10, (7, 2))
+        assert pairwise_distances(pts).shape == (7, 7)
+
+    def test_zero_diagonal(self, rng):
+        d = pairwise_distances(rng.uniform(0, 10, (5, 2)))
+        np.testing.assert_array_equal(np.diag(d), 0.0)
+
+    def test_exactly_symmetric(self, rng):
+        d = pairwise_distances(rng.uniform(0, 10, (6, 2)))
+        np.testing.assert_array_equal(d, d.T)
+
+    def test_matches_scalar_euclidean(self, rng):
+        pts = rng.uniform(0, 10, (4, 2))
+        d = pairwise_distances(pts)
+        for i in range(4):
+            for j in range(4):
+                assert d[i, j] == pytest.approx(euclidean(pts[i], pts[j]))
+
+    def test_triangle_inequality(self, rng):
+        d = pairwise_distances(rng.uniform(0, 100, (10, 2)))
+        for i in range(10):
+            for j in range(10):
+                for k in range(10):
+                    assert d[i, k] <= d[i, j] + d[j, k] + 1e-9
+
+    def test_single_point(self):
+        d = pairwise_distances([[1.0, 2.0]])
+        assert d.shape == (1, 1) and d[0, 0] == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_distances([[0, np.nan]])
+
+
+class TestCrossDistances:
+    def test_shape(self, rng):
+        a = rng.uniform(0, 10, (3, 2))
+        b = rng.uniform(0, 10, (5, 2))
+        assert cross_distances(a, b).shape == (3, 5)
+
+    def test_values(self):
+        d = cross_distances([[0, 0]], [[3, 4], [0, 1]])
+        np.testing.assert_allclose(d, [[5.0, 1.0]])
+
+    def test_consistent_with_pairwise(self, rng):
+        pts = rng.uniform(0, 10, (6, 2))
+        full = pairwise_distances(pts)
+        cross = cross_distances(pts[:3], pts[3:])
+        np.testing.assert_allclose(cross, full[:3, 3:])
+
+
+class TestPathAndTourLength:
+    def test_empty_path(self):
+        assert path_length(np.empty((0, 2))) == 0.0
+
+    def test_single_point_path(self):
+        assert path_length([[1, 1]]) == 0.0
+
+    def test_open_path(self):
+        assert path_length([[0, 0], [3, 4], [3, 0]]) == pytest.approx(9.0)
+
+    def test_tour_closes(self):
+        # Unit square: open path 3, closed tour 4.
+        square = [[0, 0], [1, 0], [1, 1], [0, 1]]
+        assert path_length(square) == pytest.approx(3.0)
+        assert tour_length(square) == pytest.approx(4.0)
+
+    def test_two_point_tour_is_out_and_back(self):
+        assert tour_length([[0, 0], [0, 5]]) == pytest.approx(10.0)
+
+    def test_single_point_tour(self):
+        assert tour_length([[7, 7]]) == 0.0
+
+    def test_tour_rotation_invariant(self, rng):
+        pts = rng.uniform(0, 10, (6, 2))
+        assert tour_length(pts) == pytest.approx(tour_length(np.roll(pts, 2, axis=0)))

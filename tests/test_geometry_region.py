@@ -1,0 +1,97 @@
+"""Unit tests for repro.geometry.region."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+from repro.utils.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_default_is_paper_square(self):
+        r = Region()
+        assert r.width == 1000.0 and r.height == 1000.0
+
+    def test_square_factory(self):
+        r = Region.square(250.0, origin=(10.0, 20.0))
+        assert (r.xmin, r.xmax, r.ymin, r.ymax) == (10.0, 260.0, 20.0, 270.0)
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(InvalidParameterError):
+            Region(5.0, 5.0, 0.0, 1.0)
+
+    def test_rejects_inverted_y(self):
+        with pytest.raises(InvalidParameterError):
+            Region(0.0, 1.0, 2.0, 1.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(InvalidParameterError):
+            Region(0.0, float("inf"), 0.0, 1.0)
+
+    def test_area_and_center(self):
+        r = Region(0, 4, 0, 2)
+        assert r.area == 8.0
+        np.testing.assert_array_equal(r.center, [2.0, 1.0])
+
+
+class TestContains:
+    def test_interior(self):
+        r = Region.square(10)
+        assert r.contains([[5, 5]])[0]
+
+    def test_boundary_inclusive(self):
+        r = Region.square(10)
+        assert r.contains([[0, 0]])[0]
+        assert r.contains([[10, 10]])[0]
+
+    def test_outside(self):
+        r = Region.square(10)
+        assert not r.contains([[10.001, 5]])[0]
+
+    def test_vectorised(self):
+        r = Region.square(10)
+        mask = r.contains([[5, 5], [-1, 5], [5, 11]])
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+
+class TestSampling:
+    def test_sample_count_and_containment(self):
+        r = Region.square(100)
+        pts = r.sample_uniform(200, seed=1)
+        assert pts.shape == (200, 2)
+        assert r.contains(pts).all()
+
+    def test_sample_deterministic(self):
+        r = Region.square(100)
+        np.testing.assert_array_equal(r.sample_uniform(10, seed=3),
+                                      r.sample_uniform(10, seed=3))
+
+    def test_sample_zero(self):
+        assert Region.square(10).sample_uniform(0).shape == (0, 2)
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Region.square(10).sample_uniform(-1)
+
+    def test_sample_covers_region_roughly(self):
+        # Mean of many uniform draws should be near the centre.
+        r = Region.square(100)
+        pts = r.sample_uniform(5000, seed=0)
+        np.testing.assert_allclose(pts.mean(axis=0), [50, 50], atol=3.0)
+
+
+class TestClip:
+    def test_clip_moves_outsiders_to_border(self):
+        r = Region.square(10)
+        clipped = r.clip([[-5, 5], [15, 5], [5, 20]])
+        np.testing.assert_array_equal(clipped, [[0, 5], [10, 5], [5, 10]])
+
+    def test_clip_keeps_insiders(self):
+        r = Region.square(10)
+        np.testing.assert_array_equal(r.clip([[3, 4]]), [[3, 4]])
+
+    def test_clip_does_not_mutate_input(self):
+        r = Region.square(10)
+        original = np.array([[-5.0, 5.0]])
+        r.clip(original)
+        np.testing.assert_array_equal(original, [[-5.0, 5.0]])

@@ -1,0 +1,47 @@
+"""Unit tests for repro.network.device."""
+
+import numpy as np
+import pytest
+
+from repro.network.device import AggregateNode, IoTDevice
+from repro.utils.errors import InvalidParameterError
+
+
+class TestIoTDevice:
+    def test_construction(self):
+        d = IoTDevice(device_id=1, x=2.0, y=3.0, data_volume=10.0)
+        assert d.device_id == 1 and d.data_volume == 10.0
+
+    def test_position_array(self):
+        d = IoTDevice(device_id=0, x=1.5, y=-2.5)
+        np.testing.assert_array_equal(d.position, [1.5, -2.5])
+
+    def test_default_unassigned(self):
+        assert IoTDevice(device_id=0, x=0, y=0).assigned_aggregate is None
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(InvalidParameterError):
+            IoTDevice(device_id=0, x=0, y=0, data_volume=-1.0)
+
+    def test_rejects_nan_coordinates(self):
+        with pytest.raises(InvalidParameterError):
+            IoTDevice(device_id=0, x=float("nan"), y=0)
+
+
+class TestAggregateNode:
+    def test_total_volume_sums_own_and_forwarded(self):
+        node = AggregateNode(node_id=0, x=0, y=0,
+                             own_volume=100.0, forwarded_volume=40.0)
+        assert node.data_volume == 140.0
+
+    def test_defaults_zero(self):
+        node = AggregateNode(node_id=0, x=0, y=0)
+        assert node.data_volume == 0.0
+
+    def test_position(self):
+        node = AggregateNode(node_id=2, x=5.0, y=6.0)
+        np.testing.assert_array_equal(node.position, [5.0, 6.0])
+
+    def test_rejects_negative_forwarded(self):
+        with pytest.raises(InvalidParameterError):
+            AggregateNode(node_id=0, x=0, y=0, forwarded_volume=-0.5)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.network.forwarding."""
+
+import numpy as np
+import pytest
+
+from repro.network.forwarding import (
+    aggregate_volumes,
+    assign_forwarding,
+    build_two_tier_network,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestAssignForwarding:
+    def test_nearest_policy(self):
+        devices = [[0, 0], [10, 0]]
+        aggregates = [[1, 0], [9, 0]]
+        out = assign_forwarding(devices, aggregates, comm_range=5.0)
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_out_of_range_unassigned(self):
+        out = assign_forwarding([[0, 0]], [[100, 100]], comm_range=5.0)
+        assert out[0] == -1
+
+    def test_boundary_in_range(self):
+        out = assign_forwarding([[0, 0]], [[3, 4]], comm_range=5.0)
+        assert out[0] == 0
+
+    def test_first_policy_picks_lowest_index(self):
+        devices = [[5, 0]]
+        aggregates = [[6, 0], [4, 0]]  # both in range; "first" -> index 0
+        out = assign_forwarding(devices, aggregates, comm_range=5.0,
+                                policy="first")
+        assert out[0] == 0
+
+    def test_nearest_policy_picks_closest(self):
+        devices = [[5, 0]]
+        aggregates = [[8, 0], [4.5, 0]]
+        out = assign_forwarding(devices, aggregates, comm_range=5.0)
+        assert out[0] == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            assign_forwarding([[0, 0]], [[0, 1]], comm_range=1.0, policy="x")
+
+    def test_no_aggregates(self):
+        out = assign_forwarding([[0, 0]], np.empty((0, 2)), comm_range=1.0)
+        np.testing.assert_array_equal(out, [-1])
+
+    def test_no_devices(self):
+        out = assign_forwarding(np.empty((0, 2)), [[0, 0]], comm_range=1.0)
+        assert len(out) == 0
+
+
+class TestAggregateVolumes:
+    def test_sums_forwarded(self):
+        total = aggregate_volumes(own_volumes=[10.0, 20.0],
+                                  device_volumes=[1.0, 2.0, 3.0],
+                                  assignment=[0, 0, 1])
+        np.testing.assert_allclose(total, [13.0, 23.0])
+
+    def test_unreachable_devices_dropped(self):
+        total = aggregate_volumes([10.0], [5.0, 7.0], [-1, 0])
+        np.testing.assert_allclose(total, [17.0])
+
+    def test_conservation(self, rng):
+        own = rng.uniform(0, 10, 5)
+        dev = rng.uniform(0, 10, 20)
+        assignment = rng.integers(0, 5, 20)
+        total = aggregate_volumes(own, dev, assignment)
+        assert total.sum() == pytest.approx(own.sum() + dev.sum())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            aggregate_volumes([1.0], [1.0, 2.0], [0])
+
+    def test_bad_assignment_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            aggregate_volumes([1.0], [1.0], [5])
+
+    def test_duplicate_assignment_accumulates(self):
+        # np.add.at must accumulate repeated indices (not overwrite).
+        total = aggregate_volumes([0.0], [1.0, 2.0, 4.0], [0, 0, 0])
+        assert total[0] == 7.0
+
+
+class TestBuildTwoTier:
+    def test_network_volumes_include_forwarded(self, rng):
+        aggregates = [[0.0, 0.0], [50.0, 0.0]]
+        devices = [[1.0, 0.0], [49.0, 0.0], [500.0, 500.0]]
+        net, recs = build_two_tier_network(
+            aggregate_positions=aggregates, own_volumes=[10.0, 10.0],
+            device_positions=devices, device_volumes=[5.0, 6.0, 7.0],
+            comm_range=5.0, depot=[0.0, 0.0])
+        np.testing.assert_allclose(net.volumes, [15.0, 16.0])
+        assert recs[2].assigned_aggregate is None
+        assert recs[0].assigned_aggregate == 0
+
+    def test_device_records_complete(self):
+        net, recs = build_two_tier_network(
+            aggregate_positions=[[0, 0]], own_volumes=[1.0],
+            device_positions=[[1, 0]], device_volumes=[2.0],
+            comm_range=5.0, depot=[0, 0])
+        assert len(recs) == 1
+        assert recs[0].data_volume == 2.0
+        assert net.devices is recs or net.devices == recs

@@ -1,0 +1,134 @@
+"""Unit tests for repro.network.generator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+from repro.network.generator import (
+    NetworkGenerator,
+    PAPER_VOLUME_RANGE,
+    clustered_network,
+    grid_network,
+    paper_default_network,
+    uniform_network,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def gen():
+    return NetworkGenerator(Region.square(200.0), volume_range=(10.0, 20.0))
+
+
+class TestUniform:
+    def test_count_and_containment(self, gen):
+        net = gen.uniform(30, seed=1)
+        assert net.n_nodes == 30
+        assert net.region.contains(net.positions).all()
+
+    def test_volumes_in_range(self, gen):
+        net = gen.uniform(50, seed=2)
+        assert (net.volumes >= 10.0).all() and (net.volumes <= 20.0).all()
+
+    def test_deterministic(self, gen):
+        a, b = gen.uniform(10, seed=5), gen.uniform(10, seed=5)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.volumes, b.volumes)
+
+    def test_seeds_differ(self, gen):
+        a, b = gen.uniform(10, seed=1), gen.uniform(10, seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_default_depot_is_region_center(self, gen):
+        net = gen.uniform(5, seed=0)
+        np.testing.assert_allclose(net.depot, [100.0, 100.0])
+
+    def test_custom_depot(self):
+        g = NetworkGenerator(Region.square(100.0), depot=(0.0, 0.0))
+        np.testing.assert_array_equal(g.uniform(3, seed=0).depot, [0.0, 0.0])
+
+    def test_zero_nodes(self, gen):
+        assert gen.uniform(0, seed=0).n_nodes == 0
+
+    def test_rejects_negative_count(self, gen):
+        with pytest.raises(InvalidParameterError):
+            gen.uniform(-1)
+
+
+class TestClustered:
+    def test_count(self, gen):
+        assert gen.clustered(24, n_clusters=4, seed=3).n_nodes == 24
+
+    def test_clipped_to_region(self, gen):
+        net = gen.clustered(60, n_clusters=2, spread=500.0, seed=4)
+        assert net.region.contains(net.positions).all()
+
+    def test_clustering_is_tighter_than_uniform(self):
+        # Mean nearest-neighbour distance should be much smaller for
+        # clustered deployments of the same size.
+        g = NetworkGenerator(Region.square(1000.0))
+        uni = g.uniform(60, seed=9)
+        clu = g.clustered(60, n_clusters=3, spread=20.0, seed=9)
+
+        def mean_nn(points):
+            from scipy.spatial import cKDTree
+            d, _ = cKDTree(points).query(points, k=2)
+            return d[:, 1].mean()
+
+        assert mean_nn(clu.positions) < 0.5 * mean_nn(uni.positions)
+
+    def test_rejects_zero_clusters(self, gen):
+        with pytest.raises(InvalidParameterError):
+            gen.clustered(10, n_clusters=0)
+
+    def test_rejects_non_positive_spread(self, gen):
+        with pytest.raises(InvalidParameterError):
+            gen.clustered(10, spread=0.0)
+
+
+class TestGrid:
+    def test_lattice_count(self, gen):
+        assert gen.grid(4, 5, seed=0).n_nodes == 20
+
+    def test_no_jitter_is_regular(self, gen):
+        net = gen.grid(2, 2, jitter=0.0)
+        expected = np.array([[50.0, 50.0], [150.0, 50.0],
+                             [50.0, 150.0], [150.0, 150.0]])
+        np.testing.assert_allclose(np.sort(net.positions, axis=0),
+                                   np.sort(expected, axis=0))
+
+    def test_jitter_moves_points(self, gen):
+        a = gen.grid(3, 3, jitter=0.0)
+        b = gen.grid(3, 3, jitter=5.0, seed=1)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_jitter_clipped(self, gen):
+        net = gen.grid(3, 3, jitter=1000.0, seed=2)
+        assert net.region.contains(net.positions).all()
+
+    def test_rejects_zero_rows(self, gen):
+        with pytest.raises(InvalidParameterError):
+            gen.grid(0, 3)
+
+
+class TestConvenienceWrappers:
+    def test_paper_default(self):
+        net = paper_default_network(40, seed=1)
+        assert net.n_nodes == 40
+        assert net.region.width == 1000.0
+        lo, hi = PAPER_VOLUME_RANGE
+        assert (net.volumes >= lo).all() and (net.volumes <= hi).all()
+
+    def test_uniform_wrapper(self):
+        assert uniform_network(7, seed=0).n_nodes == 7
+
+    def test_clustered_wrapper(self):
+        assert clustered_network(9, n_clusters=3, seed=0).n_nodes == 9
+
+    def test_grid_wrapper(self):
+        assert grid_network(2, 3, seed=0).n_nodes == 6
+
+    def test_inverted_volume_range_rejected(self):
+        g = NetworkGenerator(Region.square(10), volume_range=(20.0, 10.0))
+        with pytest.raises(InvalidParameterError):
+            g.uniform(5, seed=0)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.network.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.network.scenarios import (
+    SCENARIOS,
+    corridor,
+    dense_urban,
+    hotspot,
+    make_scenario,
+    ring,
+    sparse_rural,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(SCENARIOS) == {"sparse_rural", "dense_urban", "corridor",
+                                  "hotspot", "ring"}
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_factory_produces_valid_network(self, name):
+        net = make_scenario(name, seed=1)
+        assert net.n_nodes > 0
+        assert net.region.contains(net.positions).all()
+        assert (net.volumes > 0).all()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_deterministic(self, name):
+        a = make_scenario(name, seed=3)
+        b = make_scenario(name, seed=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_scenario("atlantis")
+
+
+class TestShapes:
+    def test_sparse_rural_is_sparse(self):
+        net = sparse_rural(40, seed=0)
+        # Large region, few nodes: mean nearest-neighbour distance > 100 m.
+        from scipy.spatial import cKDTree
+        d, _ = cKDTree(net.positions).query(net.positions, k=2)
+        assert d[:, 1].mean() > 100.0
+
+    def test_dense_urban_is_dense(self):
+        net = dense_urban(200, seed=0)
+        from scipy.spatial import cKDTree
+        d, _ = cKDTree(net.positions).query(net.positions, k=2)
+        assert d[:, 1].mean() < 40.0
+
+    def test_corridor_geometry(self):
+        net = corridor(50, length=3000.0, width=100.0, seed=0)
+        assert net.positions[:, 0].max() <= 3000.0
+        assert net.positions[:, 1].max() <= 100.0
+        # Depot at the west end.
+        assert net.depot[0] == 0.0
+
+    def test_hotspot_concentration(self):
+        net = hotspot(100, hotspot_fraction=0.7, seed=0)
+        center = np.array([250.0, 250.0])
+        d = np.linalg.norm(net.positions - center, axis=1)
+        assert (d < 150.0).sum() >= 60  # most of the 70 cluster nodes
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(InvalidParameterError):
+            hotspot(10, hotspot_fraction=1.5)
+
+    def test_ring_radii(self):
+        net = ring(60, radius=400.0, jitter=10.0, seed=0)
+        d = np.linalg.norm(net.positions - net.depot, axis=1)
+        assert abs(d.mean() - 400.0) < 30.0
+        assert d.std() < 40.0
+
+    def test_scenarios_plannable(self, radio, energy):
+        # Every scenario must be consumable by the planners end to end.
+        from repro.core.planner import plan_tour
+        from repro.core.tour import validate_tour_feasibility
+        for name in SCENARIOS:
+            net = make_scenario(name, seed=2)
+            small = net.subset(range(min(net.n_nodes, 15)))
+            tour = plan_tour(small, energy, radio, method="algorithm2",
+                             delta=30.0)
+            assert validate_tour_feasibility(tour, radio=radio).feasible

@@ -1,0 +1,96 @@
+"""Unit tests for repro.network.sensor_network."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+from repro.network.sensor_network import SensorNetwork
+from repro.utils.errors import InvalidParameterError
+
+
+def make_net(n=4):
+    pos = np.arange(2 * n, dtype=float).reshape(n, 2)
+    vol = np.arange(1, n + 1, dtype=float) * 10.0
+    return SensorNetwork(positions=pos, volumes=vol, depot=[0.0, 0.0])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = make_net(4)
+        assert net.n_nodes == 4
+        assert net.total_volume == 100.0
+
+    def test_implied_region_contains_everything(self):
+        net = make_net(5)
+        assert net.region.contains(net.positions).all()
+        assert net.region.contains(net.depot[None, :])[0]
+
+    def test_explicit_region_kept(self):
+        r = Region.square(500)
+        net = SensorNetwork(positions=[[10, 10]], volumes=[5.0],
+                            depot=[0, 0], region=r)
+        assert net.region is r
+
+    def test_rejects_volume_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            SensorNetwork(positions=[[0, 0], [1, 1]], volumes=[1.0],
+                          depot=[0, 0])
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(InvalidParameterError):
+            SensorNetwork(positions=[[0, 0]], volumes=[-1.0], depot=[0, 0])
+
+    def test_rejects_nan_depot(self):
+        with pytest.raises(InvalidParameterError):
+            SensorNetwork(positions=[[0, 0]], volumes=[1.0],
+                          depot=[float("nan"), 0])
+
+    def test_empty_network_allowed(self):
+        net = SensorNetwork(positions=np.empty((0, 2)), volumes=[],
+                            depot=[5.0, 5.0])
+        assert net.n_nodes == 0 and net.total_volume == 0.0
+
+
+class TestNodeAccess:
+    def test_node_view(self):
+        net = make_net(3)
+        node = net.node(1)
+        assert node.node_id == 1
+        assert node.data_volume == 20.0
+        np.testing.assert_array_equal(node.position, net.positions[1])
+
+    def test_node_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            make_net(3).node(3)
+
+    def test_node_negative_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_net(3).node(-1)
+
+
+class TestSubsetAndCopy:
+    def test_subset_selects(self):
+        net = make_net(5)
+        sub = net.subset([0, 2, 4])
+        assert sub.n_nodes == 3
+        np.testing.assert_array_equal(sub.volumes, [10.0, 30.0, 50.0])
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            make_net(3).subset([0, 5])
+
+    def test_subset_independent_copy(self):
+        net = make_net(3)
+        sub = net.subset([0])
+        sub.volumes[0] = 999.0
+        assert net.volumes[0] == 10.0
+
+    def test_with_volumes(self):
+        net = make_net(3)
+        new = net.with_volumes([1.0, 2.0, 3.0])
+        assert new.total_volume == 6.0
+        assert net.total_volume == 60.0  # original untouched
+
+    def test_with_volumes_validates(self):
+        with pytest.raises(InvalidParameterError):
+            make_net(3).with_volumes([1.0, -2.0, 3.0])

@@ -1,0 +1,85 @@
+"""Unit tests for repro.network.serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.generator import uniform_network
+from repro.network.serialization import (
+    SCHEMA_VERSION,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def net():
+    return uniform_network(12, seed=4)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, net):
+        back = network_from_dict(network_to_dict(net))
+        np.testing.assert_allclose(back.positions, net.positions)
+        np.testing.assert_allclose(back.volumes, net.volumes)
+        np.testing.assert_allclose(back.depot, net.depot)
+        assert back.name == net.name
+
+    def test_region_preserved(self, net):
+        back = network_from_dict(network_to_dict(net))
+        assert back.region.xmin == net.region.xmin
+        assert back.region.xmax == net.region.xmax
+
+    def test_json_round_trip(self, net):
+        back = network_from_json(network_to_json(net))
+        np.testing.assert_allclose(back.positions, net.positions)
+
+    def test_json_is_valid_json(self, net):
+        payload = json.loads(network_to_json(net, indent=2))
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_empty_network_round_trip(self):
+        from repro.network.sensor_network import SensorNetwork
+        net = SensorNetwork(positions=np.empty((0, 2)), volumes=[],
+                            depot=[1.0, 2.0])
+        back = network_from_dict(network_to_dict(net))
+        assert back.n_nodes == 0
+        np.testing.assert_array_equal(back.depot, [1.0, 2.0])
+
+
+class TestErrorHandling:
+    def test_wrong_schema_rejected(self, net):
+        payload = network_to_dict(net)
+        payload["schema"] = 999
+        with pytest.raises(InvalidParameterError):
+            network_from_dict(payload)
+
+    def test_missing_schema_rejected(self, net):
+        payload = network_to_dict(net)
+        del payload["schema"]
+        with pytest.raises(InvalidParameterError):
+            network_from_dict(payload)
+
+    def test_missing_field_rejected(self, net):
+        payload = network_to_dict(net)
+        del payload["positions"]
+        with pytest.raises(InvalidParameterError):
+            network_from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            network_from_dict([1, 2, 3])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            network_from_json("{not json")
+
+    def test_negative_volume_rejected_on_load(self, net):
+        payload = network_to_dict(net)
+        payload["volumes"][0] = -5.0
+        with pytest.raises(InvalidParameterError):
+            network_from_dict(payload)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.orienteering.exact against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import pairwise_distances
+from repro.orienteering.exact import MAX_EXACT_NODES, solve_exact
+from repro.orienteering.problem import OrienteeringInstance
+from repro.utils.errors import InvalidParameterError
+
+
+def brute_force(instance):
+    """Enumerate every subset and every order — the ultimate oracle."""
+    n = instance.n_nodes
+    others = [v for v in range(n) if v != instance.depot]
+    best = instance.awards[instance.depot]
+    for r in range(0, len(others) + 1):
+        for subset in itertools.combinations(others, r):
+            for perm in itertools.permutations(subset):
+                tour = [instance.depot, *perm]
+                if (instance.tour_cost(tour) <= instance.budget + 1e-9
+                        and instance.conflicts_ok(tour)):
+                    best = max(best, instance.tour_award(tour))
+    return best
+
+
+def random_instance(rng, n, budget_scale=1.0, groups=None):
+    pts = rng.uniform(0, 100, (n, 2))
+    costs = pairwise_distances(pts)
+    awards = rng.uniform(1, 10, n)
+    awards[0] = 0.0
+    budget = budget_scale * rng.uniform(100, 300)
+    return OrienteeringInstance(costs=costs, awards=awards, budget=budget,
+                                depot=0, conflict_groups=groups)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = random_instance(rng, 7)
+        sol = solve_exact(inst)
+        assert inst.is_feasible(sol.tour)
+        assert sol.award == pytest.approx(brute_force(inst))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force_with_conflicts(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        groups = [np.array([1, 2]), np.array([3, 4])]
+        inst = random_instance(rng, 6, groups=groups)
+        sol = solve_exact(inst)
+        assert inst.is_feasible(sol.tour)
+        assert sol.award == pytest.approx(brute_force(inst))
+
+    def test_zero_budget_returns_depot_only(self, rng):
+        inst = random_instance(rng, 6)
+        tight = OrienteeringInstance(costs=inst.costs, awards=inst.awards,
+                                     budget=0.0, depot=0)
+        sol = solve_exact(tight)
+        np.testing.assert_array_equal(sol.tour, [0])
+        assert sol.award == 0.0
+
+    def test_huge_budget_collects_everything(self, rng):
+        inst = random_instance(rng, 6)
+        rich = OrienteeringInstance(costs=inst.costs, awards=inst.awards,
+                                    budget=1e9, depot=0)
+        sol = solve_exact(rich)
+        assert sol.award == pytest.approx(inst.awards.sum())
+
+    def test_depot_only_instance(self):
+        inst = OrienteeringInstance(costs=np.zeros((1, 1)), awards=[0.0],
+                                    budget=10.0)
+        sol = solve_exact(inst)
+        np.testing.assert_array_equal(sol.tour, [0])
+
+    def test_size_limit_enforced(self):
+        n = MAX_EXACT_NODES + 1
+        inst = OrienteeringInstance(costs=np.zeros((n, n)),
+                                    awards=np.zeros(n), budget=1.0)
+        with pytest.raises(InvalidParameterError):
+            solve_exact(inst)
+
+    def test_returns_cheapest_tour_for_winning_subset(self, rng):
+        # Among tours with the optimal award, the DP reconstructs one with
+        # minimal cost — it must at least be budget-feasible and optimal.
+        inst = random_instance(rng, 7, budget_scale=2.0)
+        sol = solve_exact(inst)
+        assert inst.is_feasible(sol.tour)
+        assert sol.cost <= inst.budget + 1e-9

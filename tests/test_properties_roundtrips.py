@@ -1,0 +1,121 @@
+"""Property tests: every serialisation surface round-trips losslessly.
+
+Covers the JSON network schema, the waypoint/plan mission export, and the
+sweep-CSV persistence — the three places data crosses a process boundary.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.export import (
+    plan_dict_to_tour,
+    tour_to_plan_dict,
+    tour_to_waypoints,
+    waypoints_to_tour,
+)
+from repro.core.tour import CollectionTour
+from repro.energy.model import EnergyModel
+from repro.geometry.region import Region
+from repro.network.sensor_network import SensorNetwork
+from repro.network.serialization import network_from_dict, network_to_dict
+
+coords = st.floats(min_value=0.0, max_value=400.0,
+                   allow_nan=False, allow_infinity=False)
+volumes_elem = st.floats(min_value=0.0, max_value=1000.0,
+                         allow_nan=False, allow_infinity=False)
+sojourn_elem = st.floats(min_value=0.0, max_value=60.0,
+                         allow_nan=False, allow_infinity=False)
+
+ENERGY = EnergyModel(capacity=1e9, hover_power=150.0,
+                     travel_power=100.0, speed=10.0)
+
+
+@st.composite
+def networks(draw, min_n=1, max_n=10):
+    n = draw(st.integers(min_n, max_n))
+    pts = draw(arrays(np.float64, (n, 2), elements=coords))
+    vols = draw(arrays(np.float64, (n,), elements=volumes_elem))
+    return SensorNetwork(positions=pts, volumes=vols,
+                         depot=[200.0, 200.0],
+                         region=Region.square(400.0))
+
+
+@st.composite
+def tours(draw):
+    net = draw(networks())
+    k = draw(st.integers(1, 6))
+    pts = draw(arrays(np.float64, (k, 2), elements=coords))
+    pts = np.vstack([net.depot[None, :], pts])
+    sojourns = draw(arrays(np.float64, (k + 1,), elements=sojourn_elem))
+    collected = np.zeros(net.n_nodes)
+    return CollectionTour(points=pts, sojourns=sojourns,
+                          collected=collected, network=net,
+                          energy=ENERGY, method="synthetic")
+
+
+class TestNetworkJsonRoundTrip:
+    @given(net=networks())
+    @settings(max_examples=40, deadline=None)
+    def test_lossless(self, net):
+        back = network_from_dict(network_to_dict(net))
+        np.testing.assert_allclose(back.positions, net.positions)
+        np.testing.assert_allclose(back.volumes, net.volumes)
+        np.testing.assert_allclose(back.depot, net.depot)
+        assert back.region.xmin == net.region.xmin
+        assert back.region.ymax == net.region.ymax
+
+
+class TestMissionExportRoundTrip:
+    @given(tour=tours())
+    @settings(max_examples=40, deadline=None)
+    def test_waypoints_lossless(self, tour):
+        wps = tour_to_waypoints(tour)
+        back = waypoints_to_tour(wps, tour.network, tour.energy)
+        np.testing.assert_allclose(back.points, tour.points)
+        np.testing.assert_allclose(back.sojourns, tour.sojourns)
+
+    @given(tour=tours())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_dict_lossless(self, tour):
+        back = plan_dict_to_tour(tour_to_plan_dict(tour), tour.network,
+                                 tour.energy)
+        np.testing.assert_allclose(back.points, tour.points)
+        np.testing.assert_allclose(back.sojourns, tour.sojourns)
+
+    @given(tour=tours())
+    @settings(max_examples=40, deadline=None)
+    def test_waypoint_etas_consistent(self, tour):
+        wps = tour_to_waypoints(tour)
+        assert wps[-1].eta_s == pytest.approx(tour.mission_time, rel=1e-9,
+                                              abs=1e-9)
+        assert wps[-1].energy_j == pytest.approx(tour.total_energy,
+                                                 rel=1e-9, abs=1e-9)
+        etas = [w.eta_s for w in wps]
+        assert all(b >= a - 1e-12 for a, b in zip(etas, etas[1:]))
+
+
+class TestSweepCsvRoundTrip:
+    @given(values=st.lists(
+        st.tuples(st.floats(1e3, 1e5, allow_nan=False),
+                  st.floats(0, 100, allow_nan=False),
+                  st.floats(0, 10, allow_nan=False)),
+        min_size=1, max_size=8, unique_by=lambda t: t[0]))
+    @settings(max_examples=30, deadline=None)
+    def test_lossless(self, values, tmp_path_factory):
+        from repro.experiments.config import reduced_settings
+        from repro.experiments.report import load_sweep_csv
+        from repro.experiments.runner import SweepResult, SweepRow
+        from repro.experiments.tables import rows_to_csv
+        rows = [SweepRow("capacity", v, "A", vol, 0.0, t, 0.0, 3)
+                for v, vol, t in values]
+        result = SweepResult(config=reduced_settings(), rows=rows)
+        path = tmp_path_factory.mktemp("csv") / "sweep.csv"
+        path.write_text(rows_to_csv(result))
+        back = load_sweep_csv(path)
+        assert len(back.rows) == len(rows)
+        for a, b in zip(sorted(rows, key=lambda r: r.param_value),
+                        back.series("A")):
+            assert b.mean_volume_gb == pytest.approx(a.mean_volume_gb)
+            assert b.mean_time_s == pytest.approx(a.mean_time_s)

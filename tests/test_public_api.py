@@ -1,0 +1,74 @@
+"""Public-API stability: everything in __all__ exists and is importable.
+
+A downstream user pins against ``from repro import X``; this test freezes
+the contract so an accidental rename shows up as a test failure, not a
+user bug report.
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.geometry",
+    "repro.network",
+    "repro.energy",
+    "repro.radio",
+    "repro.tsp",
+    "repro.orienteering",
+    "repro.core",
+    "repro.sim",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_planning_surface():
+    import repro
+    for name in ("plan_tour", "plan_algorithm1", "plan_algorithm2",
+                 "plan_algorithm3", "plan_benchmark", "plan_fleet",
+                 "CollectionTour", "validate_tour_feasibility",
+                 "simulate_mission", "cross_validate",
+                 "collection_upper_bound"):
+        assert callable(getattr(repro, name)) or isinstance(
+            getattr(repro, name), type), name
+
+
+def test_paper_presets_exported():
+    import repro
+    assert repro.PAPER_ENERGY_MODEL.capacity == 3e5
+    assert repro.PAPER_RADIO_MODEL.bandwidth == 150.0
+    from repro.energy import PAPER_LITERAL_ENERGY_MODEL
+    assert PAPER_LITERAL_ENERGY_MODEL.distance_based_travel
+
+
+def test_error_types_exported():
+    import repro
+    assert issubclass(repro.InfeasibleTourError, repro.ReproError)
+    assert issubclass(repro.InvalidParameterError, repro.ReproError)
+
+
+def test_version_is_semver():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_docstrings_on_public_planners():
+    # Deliverable (e): doc comments on every public item — spot-check the
+    # planning surface.
+    import repro
+    for name in ("plan_tour", "plan_algorithm1", "plan_algorithm2",
+                 "plan_algorithm3", "plan_benchmark", "simulate_mission",
+                 "cross_validate", "validate_tour_feasibility"):
+        obj = getattr(repro, name)
+        assert obj.__doc__ and len(obj.__doc__) > 40, name

@@ -1,0 +1,129 @@
+"""Unit tests for repro.radio.link."""
+
+import numpy as np
+import pytest
+
+from repro.radio.link import (
+    DistanceRateModel,
+    PAPER_RADIO_MODEL,
+    RadioModel,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestRadioModel:
+    def test_paper_preset(self):
+        assert PAPER_RADIO_MODEL.bandwidth == 150.0
+        assert PAPER_RADIO_MODEL.coverage_radius == 50.0
+
+    def test_coverage_radius_law(self):
+        m = RadioModel(bandwidth=10.0, transmission_range=5.0, altitude=3.0)
+        assert m.coverage_radius == pytest.approx(4.0)
+
+    def test_altitude_above_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RadioModel(bandwidth=10.0, transmission_range=5.0, altitude=6.0)
+
+    def test_upload_time(self):
+        m = RadioModel(bandwidth=150.0, transmission_range=50.0, altitude=0.0)
+        assert m.upload_time(300.0) == 2.0
+
+    def test_upload_time_zero_volume(self):
+        assert PAPER_RADIO_MODEL.upload_time(0.0) == 0.0
+
+    def test_upload_times_vectorised(self):
+        t = PAPER_RADIO_MODEL.upload_times([150.0, 300.0, 0.0])
+        np.testing.assert_allclose(t, [1.0, 2.0, 0.0])
+
+    def test_upload_times_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            PAPER_RADIO_MODEL.upload_times([-1.0])
+
+    def test_uploadable_volume_inverse(self):
+        m = PAPER_RADIO_MODEL
+        assert m.uploadable_volume(m.upload_time(450.0)) == pytest.approx(450.0)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            RadioModel(bandwidth=0.0, transmission_range=5.0, altitude=0.0)
+
+
+class TestDistanceRateModel:
+    @pytest.fixture
+    def base(self):
+        return RadioModel(bandwidth=100.0, transmission_range=50.0,
+                          altitude=30.0)
+
+    def test_zero_exponent_recovers_constant_model(self, base):
+        m = DistanceRateModel(base=base, exponent=0.0)
+        g = np.linspace(0, base.coverage_radius, 10)
+        np.testing.assert_allclose(m.rate_at(g), base.bandwidth)
+
+    def test_default_saturation_is_constant_within_coverage(self, base):
+        # d_sat defaults to R; every in-coverage slant is <= R, so the
+        # paper's constant model is reproduced even with a big exponent.
+        m = DistanceRateModel(base=base, exponent=3.0)
+        g = np.linspace(0, base.coverage_radius, 10)
+        np.testing.assert_allclose(m.rate_at(g), base.bandwidth)
+
+    def test_rate_decays_beyond_saturation(self, base):
+        m = DistanceRateModel(base=base, exponent=2.0,
+                              saturation_distance=35.0)
+        rates = m.rate_at([0.0, 20.0, 39.0])
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[2] < base.bandwidth  # slant > 35 m here
+
+    def test_saturated_zone_keeps_full_rate(self, base):
+        # H = 30; a sensor 10 m out has slant ~31.6 < d_sat = 40.
+        m = DistanceRateModel(base=base, exponent=2.0,
+                              saturation_distance=40.0)
+        assert m.rate_at([10.0])[0] == base.bandwidth
+
+    def test_rate_never_exceeds_bandwidth(self, base):
+        m = DistanceRateModel(base=base, exponent=2.0,
+                              saturation_distance=30.0)
+        assert (m.rate_at(np.linspace(0, 40, 50)) <= base.bandwidth + 1e-12).all()
+
+    def test_out_of_coverage_zero(self, base):
+        m = DistanceRateModel(base=base, exponent=1.0)
+        assert m.rate_at([base.coverage_radius + 1.0])[0] == 0.0
+
+    def test_upload_time_inf_out_of_range(self, base):
+        m = DistanceRateModel(base=base, exponent=1.0)
+        assert m.upload_time(10.0, base.coverage_radius + 5.0) == np.inf
+
+    def test_upload_time_zero_volume_out_of_range(self, base):
+        m = DistanceRateModel(base=base, exponent=1.0)
+        assert m.upload_time(0.0, base.coverage_radius + 5.0) == 0.0
+
+    def test_negative_exponent_rejected(self, base):
+        with pytest.raises(InvalidParameterError):
+            DistanceRateModel(base=base, exponent=-1.0)
+
+    def test_saturation_beyond_range_rejected(self, base):
+        with pytest.raises(InvalidParameterError):
+            DistanceRateModel(base=base, saturation_distance=100.0)
+
+    def test_non_positive_saturation_rejected(self, base):
+        with pytest.raises(InvalidParameterError):
+            DistanceRateModel(base=base, saturation_distance=0.0)
+
+    def test_negative_distance_rejected(self, base):
+        m = DistanceRateModel(base=base, exponent=1.0)
+        with pytest.raises(InvalidParameterError):
+            m.rate_at([-1.0])
+
+    def test_higher_altitude_lower_rates(self):
+        # Same ground distance, same d_sat: climbing raises the slant and
+        # therefore lowers the rate — the mechanism behind the paper's
+        # low-altitude claim.
+        lo = DistanceRateModel(
+            base=RadioModel(bandwidth=100.0, transmission_range=60.0,
+                            altitude=5.0),
+            exponent=2.0, saturation_distance=30.0)
+        hi = DistanceRateModel(
+            base=RadioModel(bandwidth=100.0, transmission_range=60.0,
+                            altitude=45.0),
+            exponent=2.0, saturation_distance=30.0)
+        g = 25.0
+        assert hi.rate_at([g])[0] < lo.rate_at([g])[0]

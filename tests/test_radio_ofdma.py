@@ -1,0 +1,67 @@
+"""Unit tests for repro.radio.ofdma."""
+
+import pytest
+
+from repro.radio.ofdma import OFDMAScheduler
+from repro.utils.errors import InvalidParameterError
+
+
+class TestAssignment:
+    def test_distinct_channels(self):
+        sched = OFDMAScheduler(8)
+        a = sched.assign([3, 1, 7])
+        channels = list(a.device_to_channel.values())
+        assert len(set(channels)) == 3
+
+    def test_all_devices_served_within_capacity(self):
+        sched = OFDMAScheduler(4)
+        a = sched.assign([0, 1, 2, 3])
+        assert a.n_assigned == 4 and not a.dropped
+
+    def test_empty_hover(self):
+        sched = OFDMAScheduler(4)
+        a = sched.assign([])
+        assert a.n_assigned == 0
+
+    def test_hover_index_increments(self):
+        sched = OFDMAScheduler(4)
+        assert sched.assign([0]).hover_index == 0
+        assert sched.assign([1]).hover_index == 1
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OFDMAScheduler(4).assign([1, 1])
+
+    def test_strict_overflow_raises(self):
+        sched = OFDMAScheduler(2, strict=True)
+        with pytest.raises(InvalidParameterError):
+            sched.assign([0, 1, 2])
+
+    def test_non_strict_overflow_drops_highest_indices(self):
+        sched = OFDMAScheduler(2, strict=False)
+        a = sched.assign([5, 1, 9])
+        assert sorted(a.device_to_channel) == [1, 5]
+        assert a.dropped == [9]
+
+    def test_channel_count_minimum(self):
+        with pytest.raises(InvalidParameterError):
+            OFDMAScheduler(0)
+
+
+class TestConcurrencyTracking:
+    def test_max_concurrency(self):
+        sched = OFDMAScheduler(16)
+        sched.assign([0, 1])
+        sched.assign([2, 3, 4, 5])
+        sched.assign([6])
+        assert sched.max_concurrency == 4
+
+    def test_max_concurrency_empty(self):
+        assert OFDMAScheduler(4).max_concurrency == 0
+
+    def test_assignments_are_copies(self):
+        sched = OFDMAScheduler(4)
+        sched.assign([0])
+        log = sched.assignments
+        log.clear()
+        assert len(sched.assignments) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for repro.sim (simulator, trace, cross-validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.tour import CollectionTour
+from repro.sim.events import FlightLeg, HoverEvent
+from repro.sim.simulator import simulate_mission
+from repro.sim.validate import cross_validate
+from repro.utils.errors import InfeasibleTourError
+
+
+@pytest.fixture
+def planned(small_net, radio, energy):
+    return plan_algorithm2(small_net, energy, radio, delta=25.0)
+
+
+class TestSimulator:
+    def test_trace_matches_planner_energy(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        assert trace.total_energy == pytest.approx(planned.total_energy)
+
+    def test_trace_matches_planner_volume(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        assert trace.collected_volume >= planned.collected_volume - 1e-6
+
+    def test_events_chronological(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        times = [(e.start_time, e.end_time) for e in trace.events]
+        for (s, e), (s2, e2) in zip(times, times[1:]):
+            assert e <= s2 + 1e-9
+            assert s <= e
+
+    def test_legs_close_the_tour(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        legs = trace.flight_legs
+        # First leg leaves the depot, last leg returns to it.
+        np.testing.assert_allclose(legs[0].origin, planned.points[0])
+        np.testing.assert_allclose(legs[-1].destination, planned.points[0])
+
+    def test_leg_chain_is_continuous(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        legs = trace.flight_legs
+        for a, b in zip(legs, legs[1:]):
+            np.testing.assert_allclose(a.destination, b.origin)
+
+    def test_total_travel_matches_tour_length(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        travel = sum(l.distance for l in trace.flight_legs)
+        assert travel == pytest.approx(planned.travel_distance)
+
+    def test_hover_count(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        assert len(trace.hovers) == planned.n_hovers
+
+    def test_uploads_respect_bandwidth(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        for h in trace.hovers:
+            for v, mb in h.uploads.items():
+                assert mb <= radio.bandwidth * h.duration + 1e-9
+
+    def test_no_sensor_over_drained(self, planned, radio, small_net):
+        trace = simulate_mission(planned, radio)
+        assert (trace.collected <= small_net.volumes + 1e-9).all()
+
+    def test_strict_energy_raises_on_overdraw(self, small_net, radio):
+        from repro.energy.model import EnergyModel
+        tiny = EnergyModel(capacity=10.0, hover_power=150.0,
+                           travel_power=100.0, speed=10.0)
+        # A tour claiming a long flight on a 10 J battery.
+        far = CollectionTour(
+            points=np.vstack([small_net.depot,
+                              small_net.depot + [100.0, 0.0]]),
+            sojourns=np.array([0.0, 0.0]),
+            collected=np.zeros(small_net.n_nodes),
+            network=small_net, energy=tiny)
+        with pytest.raises(InfeasibleTourError):
+            simulate_mission(far, radio, strict_energy=True)
+        trace = simulate_mission(far, radio, strict_energy=False)
+        assert trace.ledger.overdrawn
+
+    def test_summary_mentions_key_numbers(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        text = trace.summary()
+        assert "collected" in text and "energy" in text
+
+    def test_ofdma_concurrency_reported(self, planned, radio):
+        trace = simulate_mission(planned, radio)
+        assert trace.ofdma_max_concurrency >= 1
+
+    def test_depot_only_tour(self, small_net, radio, energy):
+        t = CollectionTour(points=small_net.depot[None, :],
+                           sojourns=np.array([0.0]),
+                           collected=np.zeros(small_net.n_nodes),
+                           network=small_net, energy=energy)
+        trace = simulate_mission(t, radio)
+        assert trace.total_energy == 0.0
+        assert not trace.events
+
+
+class TestCrossValidate:
+    def test_ok_for_planner_output(self, planned, radio):
+        report = cross_validate(planned, radio)
+        assert report.ok
+        assert report.simulated_volume >= report.claimed_volume - 1e-6
+
+    def test_detects_overclaim(self, planned, radio, small_net):
+        inflated = planned.collected.copy()
+        # Claim an uncollected sensor without hovering near it.
+        untouched = np.flatnonzero(planned.collected == 0)
+        if len(untouched) == 0:
+            pytest.skip("tour collected everything; cannot inflate")
+        v = int(untouched[0])
+        inflated[v] = small_net.volumes[v]
+        bad = CollectionTour(points=planned.points,
+                             sojourns=planned.sojourns,
+                             collected=inflated,
+                             network=small_net, energy=planned.energy)
+        with pytest.raises(InfeasibleTourError):
+            cross_validate(bad, radio)
+        report = cross_validate(bad, radio, strict=False)
+        assert not report.ok
+
+    def test_report_carries_trace(self, planned, radio):
+        report = cross_validate(planned, radio)
+        assert report.trace.total_energy == pytest.approx(
+            report.simulated_energy)

@@ -1,0 +1,133 @@
+"""Unit tests for repro.sim.perturb (disturbances + contingency controller)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.sim.perturb import (
+    Perturbation,
+    evaluate_robustness,
+    simulate_with_contingency,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def tour(small_net, radio, energy):
+    return plan_algorithm2(small_net, energy, radio, delta=25.0)
+
+
+class TestPerturbationValidation:
+    def test_nominal_factory(self):
+        p = Perturbation.nominal()
+        assert p.speed_factor == 1.0 and p.sensor_dropout == 0.0
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(InvalidParameterError):
+            Perturbation(speed_factor=0.0)
+
+    def test_rejects_dropout_above_one(self):
+        with pytest.raises(InvalidParameterError):
+            Perturbation(sensor_dropout=1.5)
+
+
+class TestNominalExecution:
+    def test_matches_plan(self, tour, radio):
+        res = simulate_with_contingency(tour, radio, Perturbation.nominal())
+        assert not res.aborted
+        assert res.returned_safely
+        assert res.collected_volume >= tour.collected_volume - 1e-6
+        assert res.energy_spent == pytest.approx(tour.total_energy, rel=1e-9)
+
+    def test_completed_hover_count(self, tour, radio):
+        res = simulate_with_contingency(tour, radio)
+        assert res.completed_hovers == tour.n_hovers
+
+
+class TestDisturbances:
+    def test_headwind_costs_energy_or_data(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(speed_factor=0.6))
+        # Either the mission aborted early (less data) or it spent more
+        # energy than planned — the disturbance must show up somewhere.
+        assert res.aborted or res.energy_spent > tour.total_energy - 1e-6
+        assert res.returned_safely
+
+    def test_cold_battery_aborts_before_stranding(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(hover_power_factor=1.6))
+        assert res.returned_safely
+        assert res.collected_volume <= tour.collected_volume + 1e-6
+
+    def test_interference_reduces_data_not_safety(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(bandwidth_factor=0.5))
+        assert res.returned_safely
+        # Hover durations are fixed by the plan; half the rate means the
+        # big sensors cannot finish uploading.
+        assert res.collected_volume < tour.collected_volume - 1e-6
+
+    def test_full_dropout_collects_nothing(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(sensor_dropout=1.0))
+        assert res.collected_volume == 0.0
+        assert res.returned_safely
+
+    def test_partial_dropout_between_bounds(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(sensor_dropout=0.5, seed=1))
+        assert 0.0 <= res.collected_volume <= tour.collected_volume + 1e-6
+
+    def test_dropout_deterministic_given_seed(self, tour, radio):
+        a = simulate_with_contingency(
+            tour, radio, Perturbation(sensor_dropout=0.3, seed=9))
+        b = simulate_with_contingency(
+            tour, radio, Perturbation(sensor_dropout=0.3, seed=9))
+        np.testing.assert_allclose(a.collected, b.collected)
+
+
+class TestContingencyController:
+    @pytest.mark.parametrize("speed_factor", [0.4, 0.6, 0.8])
+    @pytest.mark.parametrize("hover_factor", [1.0, 1.3, 1.8])
+    def test_never_strands_the_uav(self, tour, radio, speed_factor,
+                                   hover_factor):
+        # The controller's contract: across a grid of harsh disturbances,
+        # the UAV always makes it home.
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(speed_factor=speed_factor,
+                                      hover_power_factor=hover_factor))
+        assert res.returned_safely
+
+    def test_reserve_tightens_the_mission(self, tour, radio):
+        free = simulate_with_contingency(tour, radio, Perturbation.nominal(),
+                                         reserve_fraction=0.0)
+        held = simulate_with_contingency(tour, radio, Perturbation.nominal(),
+                                         reserve_fraction=0.4)
+        assert held.collected_volume <= free.collected_volume + 1e-6
+
+    def test_reserve_validated(self, tour, radio):
+        with pytest.raises(InvalidParameterError):
+            simulate_with_contingency(tour, radio, reserve_fraction=1.5)
+
+    def test_abort_index_when_aborting(self, tour, radio):
+        res = simulate_with_contingency(
+            tour, radio, Perturbation(hover_power_factor=2.5))
+        if res.aborted:
+            assert 1 <= res.aborted_at <= len(tour.points)
+            assert res.completed_hovers < tour.n_hovers
+
+
+class TestEvaluateRobustness:
+    def test_rows_and_fractions(self, tour, radio):
+        rows = evaluate_robustness(
+            tour, radio,
+            [Perturbation.nominal(), Perturbation(speed_factor=0.5)],
+            labels=["nominal", "headwind"])
+        assert [r.label for r in rows] == ["nominal", "headwind"]
+        assert rows[0].fraction_of_plan >= 1.0 - 1e-9
+        assert all(r.returned_safely for r in rows)
+
+    def test_label_length_validated(self, tour, radio):
+        with pytest.raises(InvalidParameterError):
+            evaluate_robustness(tour, radio, [Perturbation.nominal()],
+                                labels=["a", "b"])

@@ -1,0 +1,66 @@
+"""Tests for the simulator's distance-dependent rate path."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import plan_algorithm2
+from repro.radio.link import DistanceRateModel, RadioModel
+from repro.sim.simulator import simulate_mission
+
+
+@pytest.fixture
+def elevated_radio():
+    return RadioModel(bandwidth=150.0, transmission_range=60.0, altitude=20.0)
+
+
+@pytest.fixture
+def tour(small_net, elevated_radio, energy):
+    return plan_algorithm2(small_net, energy, elevated_radio, delta=30.0)
+
+
+class TestRateModelExecution:
+    def test_default_saturation_matches_constant(self, tour, elevated_radio):
+        nominal = simulate_mission(tour, elevated_radio)
+        rm = DistanceRateModel(base=elevated_radio, exponent=2.0)
+        realistic = simulate_mission(tour, elevated_radio, rate_model=rm)
+        assert realistic.collected_volume == pytest.approx(
+            nominal.collected_volume)
+
+    def test_partial_saturation_collects_less_or_equal(self, tour,
+                                                       elevated_radio):
+        rm = DistanceRateModel(base=elevated_radio, exponent=2.0,
+                               saturation_distance=30.0)
+        nominal = simulate_mission(tour, elevated_radio)
+        realistic = simulate_mission(tour, elevated_radio, rate_model=rm)
+        assert realistic.collected_volume <= nominal.collected_volume + 1e-6
+
+    def test_energy_unaffected_by_rate_model(self, tour, elevated_radio):
+        # Sojourns are fixed by the plan; only the uploads change.
+        rm = DistanceRateModel(base=elevated_radio, exponent=2.0,
+                               saturation_distance=30.0)
+        nominal = simulate_mission(tour, elevated_radio)
+        realistic = simulate_mission(tour, elevated_radio, rate_model=rm)
+        assert realistic.total_energy == pytest.approx(nominal.total_energy)
+
+    def test_per_sensor_uploads_bounded_by_rate(self, tour, elevated_radio,
+                                                small_net):
+        rm = DistanceRateModel(base=elevated_radio, exponent=2.0,
+                               saturation_distance=30.0)
+        trace = simulate_mission(tour, elevated_radio, rate_model=rm)
+        for h in trace.hovers:
+            pos = np.array(h.position)
+            for v, mb in h.uploads.items():
+                g = float(np.hypot(*(small_net.positions[v] - pos)))
+                rate = float(rm.rate_at(np.asarray([g]))[0])
+                assert mb <= rate * h.duration + 1e-9
+
+    def test_stronger_decay_collects_less(self, tour, elevated_radio):
+        mild = DistanceRateModel(base=elevated_radio, exponent=1.0,
+                                 saturation_distance=30.0)
+        harsh = DistanceRateModel(base=elevated_radio, exponent=3.0,
+                                  saturation_distance=30.0)
+        v_mild = simulate_mission(tour, elevated_radio,
+                                  rate_model=mild).collected_volume
+        v_harsh = simulate_mission(tour, elevated_radio,
+                                   rate_model=harsh).collected_volume
+        assert v_harsh <= v_mild + 1e-6

@@ -1,0 +1,123 @@
+"""Unit tests for repro.tsp.construct."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import pairwise_distances
+from repro.tsp.construct import (
+    best_insertion,
+    cheapest_insertion_tour,
+    insertion_delta,
+    nearest_neighbor_tour,
+)
+from repro.tsp.length import tour_length_matrix, validate_tour
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.uniform(0, 100, (9, 2))
+
+
+@pytest.fixture
+def dist(pts):
+    return pairwise_distances(pts)
+
+
+class TestNearestNeighbor:
+    def test_is_permutation(self, dist):
+        tour = nearest_neighbor_tour(dist, start=0)
+        validate_tour(tour, len(dist))
+        assert len(tour) == len(dist)
+
+    def test_starts_at_start(self, dist):
+        assert nearest_neighbor_tour(dist, start=4)[0] == 4
+
+    def test_single_node(self):
+        tour = nearest_neighbor_tour(np.zeros((1, 1)))
+        np.testing.assert_array_equal(tour, [0])
+
+    def test_empty(self):
+        assert len(nearest_neighbor_tour(np.zeros((0, 0)))) == 0
+
+    def test_bad_start_rejected(self, dist):
+        with pytest.raises(InvalidParameterError):
+            nearest_neighbor_tour(dist, start=99)
+
+    def test_greedy_step_property(self, dist):
+        # The second node must be the nearest unvisited neighbour of start.
+        tour = nearest_neighbor_tour(dist, start=0)
+        row = dist[0].copy()
+        row[0] = np.inf
+        assert tour[1] == np.argmin(row)
+
+
+class TestInsertionDelta:
+    def test_empty_tour(self, dist):
+        delta, pos = insertion_delta(np.empty(0, dtype=int), dist, 3)
+        assert delta == 0.0
+
+    def test_singleton_tour(self, dist):
+        delta, pos = insertion_delta(np.array([0]), dist, 3)
+        assert delta == pytest.approx(2 * dist[0, 3])
+
+    def test_delta_matches_actual_length_change(self, dist):
+        tour = np.array([0, 2, 5, 7])
+        before = tour_length_matrix(tour, dist)
+        delta, _ = insertion_delta(tour, dist, 4)
+        after = tour_length_matrix(best_insertion(tour, dist, 4), dist)
+        assert after - before == pytest.approx(delta)
+
+    def test_delta_is_minimum_over_positions(self, dist):
+        tour = np.array([0, 2, 5, 7])
+        delta, _ = insertion_delta(tour, dist, 4)
+        for pos in range(1, len(tour) + 1):
+            cand = np.insert(tour, pos, 4)
+            manual = (tour_length_matrix(cand, dist)
+                      - tour_length_matrix(tour, dist))
+            assert delta <= manual + 1e-9
+
+    def test_metric_delta_non_negative(self, dist):
+        # In a metric space an insertion can never shorten the tour.
+        tour = np.array([0, 2, 5])
+        delta, _ = insertion_delta(tour, dist, 1)
+        assert delta >= -1e-9
+
+
+class TestBestInsertion:
+    def test_inserts_node(self, dist):
+        out = best_insertion(np.array([0, 1]), dist, 5)
+        assert 5 in out and len(out) == 3
+
+    def test_into_empty(self, dist):
+        np.testing.assert_array_equal(
+            best_insertion(np.empty(0, dtype=int), dist, 5), [5])
+
+
+class TestCheapestInsertionTour:
+    def test_is_permutation(self, dist):
+        tour = cheapest_insertion_tour(dist, start=0)
+        validate_tour(tour, len(dist))
+        assert len(tour) == len(dist)
+        assert tour[0] == 0
+
+    def test_subset_of_nodes(self, dist):
+        tour = cheapest_insertion_tour(dist, start=0, nodes=[0, 3, 6])
+        assert sorted(tour) == [0, 3, 6]
+
+    def test_start_not_in_pool_rejected(self, dist):
+        with pytest.raises(InvalidParameterError):
+            cheapest_insertion_tour(dist, start=0, nodes=[1, 2])
+
+    def test_duplicate_pool_rejected(self, dist):
+        with pytest.raises(InvalidParameterError):
+            cheapest_insertion_tour(dist, start=1, nodes=[1, 1, 2])
+
+    def test_reasonable_quality(self, rng):
+        # Cheapest insertion should beat a random permutation handily.
+        pts = rng.uniform(0, 100, (15, 2))
+        dist = pairwise_distances(pts)
+        ci = tour_length_matrix(cheapest_insertion_tour(dist), dist)
+        rand_tours = [rng.permutation(15) for _ in range(20)]
+        rand_best = min(tour_length_matrix(t, dist) for t in rand_tours)
+        assert ci <= rand_best

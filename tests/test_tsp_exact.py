@@ -1,0 +1,69 @@
+"""Unit tests for repro.tsp.exact (Held–Karp)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import pairwise_distances
+from repro.tsp.exact import MAX_EXACT_NODES, held_karp
+from repro.tsp.length import tour_length_matrix, validate_tour
+from repro.utils.errors import InvalidParameterError
+
+
+def brute_force_optimum(dist):
+    n = len(dist)
+    best = np.inf
+    for perm in itertools.permutations(range(1, n)):
+        tour = np.array([0, *perm])
+        best = min(best, tour_length_matrix(tour, dist))
+    return best
+
+
+class TestHeldKarp:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_matches_brute_force(self, n, rng):
+        dist = pairwise_distances(rng.uniform(0, 100, (n, 2)))
+        tour, length = held_karp(dist)
+        assert length == pytest.approx(brute_force_optimum(dist))
+        assert tour_length_matrix(tour, dist) == pytest.approx(length)
+
+    def test_tour_is_valid_permutation(self, rng):
+        dist = pairwise_distances(rng.uniform(0, 100, (8, 2)))
+        tour, _ = held_karp(dist)
+        validate_tour(tour, 8)
+        assert len(tour) == 8 and tour[0] == 0
+
+    def test_custom_start(self, rng):
+        dist = pairwise_distances(rng.uniform(0, 100, (6, 2)))
+        tour, length = held_karp(dist, start=3)
+        assert tour[0] == 3
+        _, length0 = held_karp(dist, start=0)
+        # Optimal tour length is start-invariant.
+        assert length == pytest.approx(length0)
+
+    def test_trivial_sizes(self):
+        t, l = held_karp(np.zeros((0, 0)))
+        assert len(t) == 0 and l == 0.0
+        t, l = held_karp(np.zeros((1, 1)))
+        assert list(t) == [0] and l == 0.0
+
+    def test_two_nodes(self):
+        d = np.array([[0.0, 7.0], [7.0, 0.0]])
+        t, l = held_karp(d)
+        assert l == 14.0
+
+    def test_size_limit(self):
+        n = MAX_EXACT_NODES + 1
+        with pytest.raises(InvalidParameterError):
+            held_karp(np.zeros((n, n)))
+
+    def test_bad_start(self, rng):
+        dist = pairwise_distances(rng.uniform(0, 10, (4, 2)))
+        with pytest.raises(InvalidParameterError):
+            held_karp(dist, start=4)
+
+    def test_known_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        _, length = held_karp(pairwise_distances(pts))
+        assert length == pytest.approx(4.0)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.tsp.improve."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import pairwise_distances
+from repro.tsp.construct import nearest_neighbor_tour
+from repro.tsp.exact import held_karp
+from repro.tsp.improve import or_opt, two_opt
+from repro.tsp.length import tour_length_matrix, validate_tour
+
+
+@pytest.fixture
+def instance(rng):
+    pts = rng.uniform(0, 100, (12, 2))
+    dist = pairwise_distances(pts)
+    return dist, nearest_neighbor_tour(dist)
+
+
+class TestTwoOpt:
+    def test_never_lengthens(self, instance):
+        dist, tour = instance
+        improved = two_opt(tour, dist)
+        assert (tour_length_matrix(improved, dist)
+                <= tour_length_matrix(tour, dist) + 1e-9)
+
+    def test_preserves_node_set(self, instance):
+        dist, tour = instance
+        improved = two_opt(tour, dist)
+        assert sorted(improved) == sorted(tour)
+
+    def test_input_not_mutated(self, instance):
+        dist, tour = instance
+        copy = tour.copy()
+        two_opt(tour, dist)
+        np.testing.assert_array_equal(tour, copy)
+
+    def test_fixes_obvious_crossing(self):
+        # Square visited in crossing order 0-2-1-3; 2-opt must uncross it.
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        dist = pairwise_distances(pts)
+        crossed = np.array([0, 2, 1, 3])
+        improved = two_opt(crossed, dist)
+        assert tour_length_matrix(improved, dist) == pytest.approx(4.0)
+
+    def test_short_tours_untouched(self, instance):
+        dist, _ = instance
+        np.testing.assert_array_equal(two_opt([0, 1, 2], dist), [0, 1, 2])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reaches_near_optimal_small(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, (9, 2))
+        dist = pairwise_distances(pts)
+        _, opt = held_karp(dist)
+        start = nearest_neighbor_tour(dist)
+        improved = two_opt(start, dist)
+        # 2-opt from NN is reliably within 10 % at this size.
+        assert tour_length_matrix(improved, dist) <= 1.10 * opt + 1e-9
+
+
+class TestOrOpt:
+    def test_never_lengthens(self, instance):
+        dist, tour = instance
+        improved = or_opt(tour, dist)
+        assert (tour_length_matrix(improved, dist)
+                <= tour_length_matrix(tour, dist) + 1e-9)
+
+    def test_preserves_node_set(self, instance):
+        dist, tour = instance
+        assert sorted(or_opt(tour, dist)) == sorted(tour)
+
+    def test_short_tours_untouched(self, instance):
+        dist, _ = instance
+        np.testing.assert_array_equal(or_opt([0, 1, 2, 3], dist), [0, 1, 2, 3])
+
+    def test_relocates_stranded_vertex(self):
+        # A vertex visited far out of sequence; or-opt should relocate it.
+        pts = np.array([[0, 0], [10, 0], [20, 0], [20, 10],
+                        [0, 10], [10, 10]], dtype=float)
+        dist = pairwise_distances(pts)
+        # 5 belongs between 4 and 3 on the top edge; place it badly.
+        bad = np.array([0, 5, 1, 2, 3, 4])
+        improved = or_opt(bad, dist)
+        assert (tour_length_matrix(improved, dist)
+                < tour_length_matrix(bad, dist) - 1e-9)
+
+    def test_combined_with_two_opt(self, instance):
+        dist, tour = instance
+        a = two_opt(tour, dist)
+        b = or_opt(a, dist)
+        assert (tour_length_matrix(b, dist)
+                <= tour_length_matrix(a, dist) + 1e-9)

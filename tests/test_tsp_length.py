@@ -1,0 +1,96 @@
+"""Unit tests for repro.tsp.length."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import pairwise_distances, tour_length
+from repro.tsp.length import (
+    rotate_to_start,
+    tour_edges,
+    tour_length_matrix,
+    validate_tour,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def dist(rng):
+    return pairwise_distances(rng.uniform(0, 10, (6, 2)))
+
+
+class TestValidateTour:
+    def test_valid_tour_passes(self):
+        out = validate_tour([0, 2, 1], n=3)
+        np.testing.assert_array_equal(out, [0, 2, 1])
+
+    def test_empty_tour_valid(self):
+        assert len(validate_tour([], n=5)) == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_tour([0, 1, 0], n=3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_tour([0, 3], n=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_tour([-1, 0], n=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_tour([[0, 1]], n=3)
+
+
+class TestTourLengthMatrix:
+    def test_matches_coordinate_version(self, rng):
+        pts = rng.uniform(0, 10, (7, 2))
+        dist = pairwise_distances(pts)
+        tour = np.array([0, 3, 1, 6, 2, 5, 4])
+        assert tour_length_matrix(tour, dist) == pytest.approx(
+            tour_length(pts[tour]))
+
+    def test_singleton_zero(self, dist):
+        assert tour_length_matrix([2], dist) == 0.0
+
+    def test_empty_zero(self, dist):
+        assert tour_length_matrix([], dist) == 0.0
+
+    def test_pair_out_and_back(self, dist):
+        assert tour_length_matrix([0, 1], dist) == pytest.approx(2 * dist[0, 1])
+
+    def test_reversal_invariant(self, dist):
+        tour = np.array([0, 2, 4, 1, 3])
+        assert tour_length_matrix(tour, dist) == pytest.approx(
+            tour_length_matrix(tour[::-1], dist))
+
+
+class TestTourEdges:
+    def test_closed_edge_list(self):
+        edges = tour_edges([0, 1, 2])
+        assert edges == [(0, 1), (1, 2), (2, 0)]
+
+    def test_short_tours_no_edges(self):
+        assert tour_edges([0]) == []
+        assert tour_edges([]) == []
+
+
+class TestRotateToStart:
+    def test_rotation(self):
+        out = rotate_to_start([3, 1, 4, 0], start=4)
+        np.testing.assert_array_equal(out, [4, 0, 3, 1])
+
+    def test_already_at_start(self):
+        out = rotate_to_start([4, 0, 3], start=4)
+        np.testing.assert_array_equal(out, [4, 0, 3])
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rotate_to_start([1, 2, 3], start=9)
+
+    def test_length_preserved(self, dist):
+        tour = np.array([0, 2, 4, 1, 3])
+        rotated = rotate_to_start(tour, 4)
+        assert tour_length_matrix(tour, dist) == pytest.approx(
+            tour_length_matrix(rotated, dist))

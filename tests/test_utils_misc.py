@@ -1,0 +1,75 @@
+"""Unit tests for repro.utils.errors and repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.errors import (
+    InfeasibleTourError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.utils.timing import Timer
+
+
+class TestErrorHierarchy:
+    def test_invalid_parameter_is_repro_error(self):
+        assert issubclass(InvalidParameterError, ReproError)
+
+    def test_invalid_parameter_is_value_error(self):
+        # Generic callers using the stdlib convention still catch it.
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_infeasible_tour_is_repro_error(self):
+        assert issubclass(InfeasibleTourError, ReproError)
+
+    def test_infeasible_tour_carries_energy_context(self):
+        err = InfeasibleTourError("over budget", required=120.0, available=100.0)
+        assert err.required == 120.0
+        assert err.available == 100.0
+
+    def test_infeasible_tour_defaults_none(self):
+        err = InfeasibleTourError("msg")
+        assert err.required is None and err.available is None
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise InvalidParameterError("bad")
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        first = t.elapsed
+        time.sleep(0.01)
+        assert t.elapsed == first
+
+    def test_running_flag(self):
+        t = Timer()
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_unstarted_timer_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().elapsed
+
+    def test_measures_sleep_roughly(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert 0.015 <= t.elapsed < 1.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.0 and t.elapsed != first

@@ -1,0 +1,59 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_rng(42).integers(0, 1000, 10)
+        b = as_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9, 10)
+        b = as_rng(2).integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        assert isinstance(as_rng(ss), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert len(spawn_rngs(0, 0)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(0, 10**9, 5) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 10**9, 3) for g in spawn_rngs(99, 2)]
+        b = [g.integers(0, 10**9, 3) for g in spawn_rngs(99, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(1)
+        children = spawn_rngs(gen, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)

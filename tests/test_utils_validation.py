@@ -1,0 +1,143 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_points_array,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_int(self):
+        assert check_finite(3, "x") == 3.0
+
+    def test_accepts_float(self):
+        assert check_finite(2.5, "x") == 2.5
+
+    def test_accepts_numpy_scalar(self):
+        assert check_finite(np.float64(1.5), "x") == 1.5
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError, match="x"):
+            check_finite(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            check_finite(math.inf, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidParameterError):
+            check_finite("5", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_finite(True, "x")
+
+    def test_rejects_none(self):
+        with pytest.raises(InvalidParameterError):
+            check_finite(None, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(InvalidParameterError, match="my_param"):
+            check_finite(float("inf"), "my_param")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.001, "x") == 0.001
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(-1.0, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative(5, "x") == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_interior_accepted_both_modes(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        assert check_in_range(0.5, "x", 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_outside_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(4, "x") == 4
+
+    def test_accepts_integral_float(self):
+        assert check_integer(4.0, "x") == 4
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(7), "x") == 7
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(InvalidParameterError):
+            check_integer(4.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_integer(True, "x")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            check_integer(0, "x", minimum=1)
+
+    def test_minimum_boundary_accepted(self):
+        assert check_integer(1, "x", minimum=1) == 1
+
+
+class TestCheckPointsArray:
+    def test_accepts_n_by_2(self):
+        arr = check_points_array([[0, 1], [2, 3]], "pts")
+        assert arr.shape == (2, 2)
+        assert arr.dtype == float
+
+    def test_promotes_single_point(self):
+        arr = check_points_array([1.0, 2.0], "pts")
+        assert arr.shape == (1, 2)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(InvalidParameterError):
+            check_points_array([[1, 2, 3]], "pts")
+
+    def test_rejects_nan_coordinates(self):
+        with pytest.raises(InvalidParameterError):
+            check_points_array([[np.nan, 0.0]], "pts")
+
+    def test_accepts_empty(self):
+        arr = check_points_array(np.empty((0, 2)), "pts")
+        assert arr.shape == (0, 2)
