@@ -43,3 +43,12 @@ def record_tour(benchmark, tour) -> None:
     benchmark.extra_info["n_hovers"] = tour.n_hovers
     benchmark.extra_info["energy_used_j"] = round(tour.total_energy, 1)
     benchmark.extra_info["method"] = tour.method
+    perf = tour.meta.get("perf")
+    if perf:
+        # Planner-kernel work counters (see docs/architecture.md): how many
+        # sites were rescored / deltas recomputed, next to the wall time.
+        benchmark.extra_info["engine"] = perf.get("engine")
+        for key in ("sites_rescored", "deltas_recomputed",
+                    "insertions", "drains", "ratios_rescored"):
+            if key in perf:
+                benchmark.extra_info[key] = perf[key]

@@ -1,0 +1,163 @@
+"""Planner-kernel bench — incremental ``engine="kernel"`` vs legacy dense.
+
+PR 1's tentpole replaces the planners' per-iteration O(m·n + m·|tour|)
+recomputation with the incremental :class:`repro.core.kernel.PlannerKernel`
+(CSR coverage + dirty-set residuals + cached insertion deltas).  This
+bench pins the claim with timings on the *same seeded instances*:
+
+* Algorithms 2/3 on the reduced campaign (|V| = 100, δ = 15 m), both
+  engines — the speedup headline is Algorithm 3 at K = 4, whose dense
+  formulation rebuilds a (m, n) residual matrix K+1 times per selection;
+* Algorithm 2 at paper scale (|V| = 500, δ = 10 m ⇒ ~10 000 candidates),
+  both engines, hovering sites pre-built so the measurement isolates the
+  greedy loop the kernel optimises;
+* the Christofides-prune baseline, both engines.
+
+Shape tests assert the acceptance floors (kernel ≥ 5× dense for Alg. 3
+K = 4 at reduced scale; ≥ 10× for Alg. 2 at δ = 10, |V| = 500) and that
+both engines return bitwise-identical tours.  ``BENCH_PR1.json`` at the
+repo root is this module's ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import FIXED_DELTA, energy_with, record_tour
+from repro.core.algorithm2 import plan_algorithm2
+from repro.core.algorithm3 import plan_algorithm3
+from repro.core.benchmark_alg import plan_benchmark
+from repro.core.hovering import build_hovering_sites
+from repro.experiments.config import paper_settings
+from repro.experiments.instances import make_instances
+
+#: Battery for the reduced-scale engine comparison (binds at |V| = 100).
+KERNEL_CAPACITY = 6e4
+
+#: Paper-scale grid for the headline Alg. 2 measurement (§IV-A scale).
+PAPER_DELTA = 10.0
+
+ENGINES = ("kernel", "dense")
+
+
+@pytest.fixture(scope="module")
+def reduced_sites(bench_network, bench_radio):
+    """Hovering sites at the reduced scale, built once for both engines."""
+    return build_hovering_sites(bench_network, bench_radio, FIXED_DELTA)
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    """The paper-scale instance: |V| = 500 in 1000 m x 1000 m."""
+    cfg = paper_settings()
+    net = make_instances(cfg, n_instances=1)[0]
+    return cfg, net
+
+
+@pytest.fixture(scope="module")
+def paper_sites(paper_instance):
+    cfg, net = paper_instance
+    return build_hovering_sites(net, cfg.radio_model(), PAPER_DELTA)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kernel_alg2_reduced(benchmark, bench_network, bench_radio,
+                             reduced_sites, engine):
+    energy = energy_with(KERNEL_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_algorithm2,
+        args=(bench_network, energy, bench_radio, FIXED_DELTA),
+        kwargs={"sites": reduced_sites, "engine": engine},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kernel_alg3_k4_reduced(benchmark, bench_network, bench_radio,
+                                reduced_sites, engine):
+    energy = energy_with(KERNEL_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_algorithm3,
+        args=(bench_network, energy, bench_radio, FIXED_DELTA, 4),
+        kwargs={"sites": reduced_sites, "engine": engine},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kernel_alg2_paper_scale(benchmark, paper_instance, paper_sites,
+                                 engine):
+    cfg, net = paper_instance
+    tour = benchmark.pedantic(
+        plan_algorithm2,
+        args=(net, cfg.energy_model(), cfg.radio_model(), PAPER_DELTA),
+        kwargs={"sites": paper_sites, "engine": engine},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kernel_benchmark_prune(benchmark, bench_network, bench_radio,
+                                engine):
+    energy = energy_with(KERNEL_CAPACITY)
+    tour = benchmark.pedantic(
+        plan_benchmark,
+        args=(bench_network, energy, bench_radio),
+        kwargs={"engine": engine},
+        rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+# --------------------------------------------------------------------- #
+# Shape tests: acceptance floors and bitwise identity
+# --------------------------------------------------------------------- #
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def test_shape_alg3_k4_speedup(bench_network, bench_radio, reduced_sites):
+    """Kernel >= 5x dense for Alg. 3 (K = 4) at reduced scale."""
+    energy = energy_with(KERNEL_CAPACITY)
+    fast, t_fast = _timed(plan_algorithm3, bench_network, energy,
+                          bench_radio, FIXED_DELTA, 4,
+                          sites=reduced_sites, engine="kernel")
+    slow, t_slow = _timed(plan_algorithm3, bench_network, energy,
+                          bench_radio, FIXED_DELTA, 4,
+                          sites=reduced_sites, engine="dense")
+    np.testing.assert_array_equal(fast.points, slow.points)
+    np.testing.assert_array_equal(fast.sojourns, slow.sojourns)
+    np.testing.assert_array_equal(fast.collected, slow.collected)
+    assert t_slow >= 5.0 * t_fast, \
+        f"kernel {t_fast:.3f}s vs dense {t_slow:.3f}s (< 5x)"
+
+
+def test_shape_alg2_paper_speedup(paper_instance, paper_sites):
+    """Kernel >= 10x dense for Alg. 2 at delta = 10 m, |V| = 500."""
+    cfg, net = paper_instance
+    energy, radio = cfg.energy_model(), cfg.radio_model()
+    fast, t_fast = _timed(plan_algorithm2, net, energy, radio, PAPER_DELTA,
+                          sites=paper_sites, engine="kernel")
+    slow, t_slow = _timed(plan_algorithm2, net, energy, radio, PAPER_DELTA,
+                          sites=paper_sites, engine="dense")
+    np.testing.assert_array_equal(fast.points, slow.points)
+    np.testing.assert_array_equal(fast.sojourns, slow.sojourns)
+    np.testing.assert_array_equal(fast.collected, slow.collected)
+    assert t_slow >= 10.0 * t_fast, \
+        f"kernel {t_fast:.3f}s vs dense {t_slow:.3f}s (< 10x)"
+
+
+def test_shape_kernel_does_less_work(bench_network, bench_radio,
+                                     reduced_sites):
+    """The counters agree with the complexity claim: O(overlap) per step."""
+    energy = energy_with(KERNEL_CAPACITY)
+    fast = plan_algorithm3(bench_network, energy, bench_radio, FIXED_DELTA,
+                           4, sites=reduced_sites, engine="kernel")
+    slow = plan_algorithm3(bench_network, energy, bench_radio, FIXED_DELTA,
+                           4, sites=reduced_sites, engine="dense")
+    assert (fast.meta["perf"]["sites_rescored"]
+            < 0.25 * slow.meta["perf"]["sites_rescored"])

@@ -32,6 +32,8 @@ from repro.core import (
     PLANNERS,
     build_hovering_sites,
     build_auxiliary_graph,
+    PlannerKernel,
+    ENGINES,
     validate_tour_feasibility,
     collection_upper_bound,
     UpperBoundReport,
@@ -60,6 +62,7 @@ __all__ = [
     "plan_algorithm1", "plan_algorithm2", "plan_algorithm3", "plan_benchmark",
     "CollectionTour", "FeasibilityReport", "validate_tour_feasibility",
     "build_hovering_sites", "build_auxiliary_graph",
+    "PlannerKernel", "ENGINES",
     "collection_upper_bound", "UpperBoundReport", "FleetPlan", "plan_fleet",
     # models
     "EnergyModel", "EnergyLedger", "PAPER_ENERGY_MODEL",

@@ -18,6 +18,7 @@
 """
 
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.kernel import ENGINES, PlannerKernel, PruneCache
 from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
 from repro.core.tour import CollectionTour, FeasibilityReport, validate_tour_feasibility
 from repro.core.algorithm1 import plan_algorithm1
@@ -73,6 +74,9 @@ __all__ = [
     "plan_dict_to_tour",
     "HoveringSites",
     "build_hovering_sites",
+    "ENGINES",
+    "PlannerKernel",
+    "PruneCache",
     "AuxiliaryGraph",
     "build_auxiliary_graph",
     "CollectionTour",

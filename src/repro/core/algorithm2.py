@@ -9,11 +9,19 @@ where ``P'`` counts only not-yet-collected sensors (Eq. 11), ``t'`` is the
 max residual upload time among them (Eq. 12), and ``dTSP`` is the tour-length
 increase of adding ``s_j``.  Stop when no candidate fits the battery.
 
+This module is a thin *policy* layer: which candidate to take, under which
+scoring rule.  All per-candidate state — residual awards/hover times with
+dirty-set invalidation and the cheapest-insertion delta cache — lives in
+:class:`repro.core.kernel.PlannerKernel`, which makes each greedy step
+O(overlap) instead of O(m·n + m·|tour|).  ``engine="dense"`` selects the
+legacy full-recompute path (bitwise-identical results; kept for
+equivalence tests and ``benchmarks/bench_kernel.py``).
+
 Incremental-TSP modes
 ---------------------
 * ``tsp_mode="insertion"`` (default) — ``dTSP`` is the cheapest-insertion
-  delta into the current tour.  O(|tour|) per candidate, fully vectorised
-  over all candidates; the tour is maintained incrementally.
+  delta into the current tour, served from the kernel's incremental cache;
+  the tour is maintained incrementally.
 * ``tsp_mode="christofides"`` — recompute a Christofides tour for
   ``S ∪ {s_j}`` per candidate, exactly as the paper's pseudo-code states.
   O(|S|^3) per candidate; practical only on small instances.  The ablation
@@ -22,11 +30,12 @@ Incremental-TSP modes
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.kernel import PlannerKernel, check_engine
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import cross_distances, pairwise_distances
@@ -54,21 +63,20 @@ SCORING_POLICIES = ("ratio", "award", "proximity", "hover_ratio")
 
 def _score(policy: str, p_res, t_res, deltas, eta_h, etat_m, feasible):
     """Candidate scores under *policy*; -inf where infeasible."""
-    import numpy as _np
     if policy == "ratio":
-        denom = _np.maximum(t_res * eta_h + _np.maximum(deltas, 0.0) * etat_m,
-                            _DENOM_EPS)
+        denom = np.maximum(t_res * eta_h + np.maximum(deltas, 0.0) * etat_m,
+                           _DENOM_EPS)
         raw = p_res / denom
     elif policy == "award":
         raw = p_res
     elif policy == "proximity":
-        raw = -_np.maximum(deltas, 0.0)
+        raw = -np.maximum(deltas, 0.0)
     elif policy == "hover_ratio":
-        raw = p_res / _np.maximum(t_res * eta_h, _DENOM_EPS)
+        raw = p_res / np.maximum(t_res * eta_h, _DENOM_EPS)
     else:
         raise InvalidParameterError(
             f"scoring must be one of {SCORING_POLICIES}, got {policy!r}")
-    return _np.where(feasible, raw, -_np.inf)
+    return np.where(feasible, raw, -np.inf)
 
 
 def _insertion_deltas(site_points: np.ndarray,
@@ -76,7 +84,9 @@ def _insertion_deltas(site_points: np.ndarray,
     """Vectorised cheapest-insertion delta of every site into the tour.
 
     Returns ``(deltas, positions)`` where ``positions[j]`` is the tour index
-    *before which* site ``j`` would be inserted.
+    *before which* site ``j`` would be inserted.  This is the full O(m·k)
+    scan; the kernel maintains the same quantities incrementally and uses
+    this formulation only for flushes (and as the oracle in tests).
     """
     k = len(tour_points)
     if k == 1:
@@ -100,7 +110,8 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
                     polish: bool = True,
                     scoring: str = "ratio",
                     sites: Optional[HoveringSites] = None,
-                    max_iterations: Optional[int] = None) -> CollectionTour:
+                    max_iterations: Optional[int] = None,
+                    engine: str = "kernel") -> CollectionTour:
     """Plan a full-collection tour with the greedy max-ratio heuristic.
 
     Parameters
@@ -119,6 +130,9 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         Pre-built hovering sites (else built from the inputs).
     max_iterations:
         Safety bound on greedy iterations (default: number of candidates).
+    engine:
+        ``"kernel"`` — incremental sparse planner state (default);
+        ``"dense"`` — legacy full-recompute loops (identical results).
     """
     if tsp_mode not in ("insertion", "christofides"):
         raise InvalidParameterError(
@@ -126,21 +140,19 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
     if scoring not in SCORING_POLICIES:
         raise InvalidParameterError(
             f"scoring must be one of {SCORING_POLICIES}, got {scoring!r}")
+    check_engine(engine)
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
 
-    pts_all = np.vstack([network.depot[None, :], sites.points])
-    cov = sites.cov_matrix
+    kern = PlannerKernel(sites, energy, radio, engine=engine)
+    pts_all = kern.points_all
     volumes = network.volumes
-    bandwidth = radio.bandwidth
     eta_h = energy.hover_power
     etat_m = energy.travel_cost_per_meter
     capacity = energy.capacity
 
     m = sites.n_sites
-    tour: List[int] = [0]                     # node ids into pts_all
-    covered = np.zeros(network.n_nodes, dtype=bool)
-    sojourn_of = {0: 0.0}
+    sojourn_of: Dict[int, float] = {0: 0.0}
     hover_total = 0.0
     tour_len = 0.0
     iterations = 0
@@ -150,27 +162,19 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
     if tsp_mode == "christofides":
         dist_all = pairwise_distances(pts_all)
 
-    in_tour = np.zeros(m + 1, dtype=bool)
-    in_tour[0] = True
-
     while iterations < limit:
         iterations += 1
-        rem = np.where(covered, 0.0, volumes)
-        p_res = cov @ rem                                       # P' (Eq. 11)
-        masked_t = np.where(cov, (rem / bandwidth)[None, :], 0.0)
-        t_res = masked_t.max(axis=1) if m else np.zeros(0)      # t' (Eq. 12)
+        p_res, t_res = kern.residual_scores()                   # Eqs. 11-12
 
-        eligible = (p_res > 0) & ~in_tour[1:]
+        eligible = (p_res > 0) & ~kern.in_tour[1:]
         if not eligible.any():
             break
 
-        tour_pts = pts_all[tour]
         if tsp_mode == "insertion":
-            deltas, positions = _insertion_deltas(sites.points, tour_pts)
+            deltas, _positions = kern.insertion_state()
         else:
             deltas = np.full(m, np.inf)
-            positions = np.zeros(m, dtype=int)
-            cur_nodes = np.array(tour, dtype=int)
+            cur_nodes = np.array(kern.tour, dtype=int)
             for j in np.flatnonzero(eligible):
                 cand_nodes = np.append(cur_nodes, j + 1)
                 cand_tour = christofides_tour(dist_all, start=0,
@@ -188,76 +192,68 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
 
         node = j + 1
         if tsp_mode == "insertion":
-            pos = int(positions[j])
-            tour.insert(pos, node)
+            kern.insert(j)
             tour_len += float(deltas[j])
         else:
-            cur_nodes = np.append(np.array(tour, dtype=int), node)
+            cur_nodes = np.append(np.array(kern.tour, dtype=int), node)
             new_tour = christofides_tour(dist_all, start=0, nodes=cur_nodes)
-            tour = [int(v) for v in new_tour]
+            kern.set_tour([int(v) for v in new_tour])
             tour_len = tour_length_matrix(new_tour, dist_all)
-        in_tour[node] = True
         sojourn_of[node] = float(t_res[j])
         hover_total += float(t_res[j])
-        covered |= cov[j]
+        kern.drain_full(j)
 
-    if polish and len(tour) >= 4:
-        tour, tour_len, extra = _polish_and_refill(
-            tour, pts_all, sites, covered, sojourn_of, hover_total,
-            energy, radio)
-        covered, sojourn_of, hover_total = extra
+    if polish and len(kern.tour) >= 4:
+        tour_len, hover_total = _polish_and_refill(
+            kern, sojourn_of, hover_total, energy)
 
-    sojourns = np.array([sojourn_of[v] for v in tour])
-    collected = np.where(covered, volumes, 0.0)
+    sojourns = np.array([sojourn_of[v] for v in kern.tour])
+    collected = np.where(kern.covered, volumes, 0.0)
     return CollectionTour(
-        points=pts_all[np.array(tour, dtype=int)],
+        points=pts_all[np.array(kern.tour, dtype=int)],
         sojourns=sojourns, collected=collected,
         network=network, energy=energy, method="algorithm2",
         meta={
             "n_candidates": m,
-            "n_visited": len(tour) - 1,
+            "n_visited": len(kern.tour) - 1,
             "iterations": iterations,
             "tsp_mode": tsp_mode,
             "scoring": scoring,
             "polished": bool(polish),
             "delta": float(sites.delta),
+            "engine": engine,
+            "perf": kern.perf(),
         })
 
 
-def _polish_and_refill(tour, pts_all, sites, covered, sojourn_of,
-                       hover_total, energy, radio):
-    """2-opt the tour, then greedily insert more sites with the freed budget."""
-    tour_arr = np.array(tour, dtype=int)
-    tour_pts = pts_all[tour_arr]
+def _polish_and_refill(kern: PlannerKernel, sojourn_of: Dict[int, float],
+                       hover_total: float, energy: EnergyModel) -> tuple:
+    """2-opt the tour, then greedily insert more sites with the freed budget.
+
+    Mutates the kernel (tour, residuals) and ``sojourn_of`` in place;
+    returns the updated ``(tour_len, hover_total)``.  The wholesale reorder
+    flushes the kernel's insertion cache — the one full O(m·|tour|) rescan
+    a polished run pays.
+    """
+    tour_arr = np.array(kern.tour, dtype=int)
+    tour_pts = kern.points_all[tour_arr]
     local_dist = pairwise_distances(tour_pts)
     improved = two_opt(np.arange(len(tour_arr)), local_dist)
     start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
     order = np.roll(improved, -start)
-    tour = [int(tour_arr[i]) for i in order]
+    kern.set_tour([int(tour_arr[i]) for i in order])
     tour_len = tour_length_matrix(np.arange(len(order)),
                                   local_dist[np.ix_(order, order)])
 
-    cov = sites.cov_matrix
-    volumes = sites.network.volumes
-    bandwidth = radio.bandwidth
     eta_h = energy.hover_power
     etat_m = energy.travel_cost_per_meter
     capacity = energy.capacity
-    m = sites.n_sites
-    in_tour = np.zeros(m + 1, dtype=bool)
-    in_tour[np.array(tour, dtype=int)] = True
-
-    covered = covered.copy()
-    sojourn_of = dict(sojourn_of)
     while True:
-        rem = np.where(covered, 0.0, volumes)
-        p_res = cov @ rem
-        masked_t = np.where(cov, (rem / bandwidth)[None, :], 0.0)
-        t_res = masked_t.max(axis=1) if m else np.zeros(0)
-        eligible = (p_res > 0) & ~in_tour[1:]
+        p_res, t_res = kern.residual_scores()
+        eligible = (p_res > 0) & ~kern.in_tour[1:]
         if not eligible.any():
             break
-        deltas, positions = _insertion_deltas(sites.points, pts_all[tour])
+        deltas, _positions = kern.insertion_state()
         new_energy = ((hover_total + t_res) * eta_h
                       + (tour_len + np.maximum(deltas, 0.0)) * etat_m)
         feasible = eligible & (new_energy <= capacity + 1e-9)
@@ -268,13 +264,12 @@ def _polish_and_refill(tour, pts_all, sites, covered, sojourn_of,
         rho = np.where(feasible, p_res / denom, -np.inf)
         j = int(np.argmax(rho))
         node = j + 1
-        tour.insert(int(positions[j]), node)
+        kern.insert(j)
         tour_len += float(deltas[j])
-        in_tour[node] = True
         sojourn_of[node] = float(t_res[j])
         hover_total += float(t_res[j])
-        covered |= cov[j]
-    return tour, tour_len, (covered, sojourn_of, hover_total)
+        kern.drain_full(j)
+    return tour_len, hover_total
 
 
 __all__ = ["plan_algorithm2"]

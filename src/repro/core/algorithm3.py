@@ -17,6 +17,16 @@ two bookkeeping rules:
   remaining drain time — a strictly finer discretisation than reusing
   the original ``t(s_j)``, with identical behaviour at K = 1.
 
+Like Algorithm 2, this module is a thin policy layer over
+:class:`repro.core.kernel.PlannerKernel`: the kernel caches the residual
+hover times, the per-(site, k) sojourns and partial awards, and the
+cheapest-insertion deltas, recomputing rows only for candidates whose
+covered sensors drained since the last step — the paper's "recompute the
+overlapping candidates" rule (lines 11–12) made literal.  With
+``engine="dense"`` the legacy full ``(m, n)``-per-iteration formulation
+runs instead (bitwise-identical results, kept for equivalence tests and
+benchmarking).
+
 With ``K = 1`` this planner coincides with Algorithm 2 (the paper's
 observation that DCM is the special case of PDCM); the test suite asserts
 that equivalence on seeded instances.  Like Algorithm 2, an optional
@@ -27,12 +37,13 @@ Fig. 4/5 comparison fair).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.algorithm2 import _DENOM_EPS, _insertion_deltas
+from repro.core.algorithm2 import _DENOM_EPS
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.kernel import PlannerKernel, check_engine
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
@@ -40,7 +51,6 @@ from repro.network.sensor_network import SensorNetwork
 from repro.radio.link import RadioModel
 from repro.tsp.improve import two_opt
 from repro.tsp.length import tour_length_matrix
-from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import check_integer
 
 #: Residual volumes below this many MB are treated as fully collected,
@@ -52,7 +62,8 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
                     radio: RadioModel, delta: float, K: int, *,
                     polish: bool = True,
                     sites: Optional[HoveringSites] = None,
-                    max_iterations: Optional[int] = None) -> CollectionTour:
+                    max_iterations: Optional[int] = None,
+                    engine: str = "kernel") -> CollectionTour:
     """Plan a partial-collection tour with the K-virtual-location heuristic.
 
     Parameters
@@ -70,27 +81,27 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
         Safety bound on greedy iterations (default ``2 * K * (m + 1)``,
         mirroring the paper's ``M' = K * M`` virtual-square count with
         headroom for post-polish resumption).
+    engine:
+        ``"kernel"`` — incremental sparse planner state (default);
+        ``"dense"`` — legacy full-recompute loops (identical results).
     """
     K = check_integer(K, "K", minimum=1)
+    check_engine(engine)
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
 
-    pts_all = np.vstack([network.depot[None, :], sites.points])
-    cov = sites.cov_matrix
+    kern = PlannerKernel(sites, energy, radio, engine=engine,
+                         volume_tol=_VOLUME_TOL)
+    pts_all = kern.points_all
     bandwidth = radio.bandwidth
     eta_h = energy.hover_power
     etat_m = energy.travel_cost_per_meter
     capacity = energy.capacity
     m = sites.n_sites
-    n = network.n_nodes
 
     # --- mutable planner state shared by the greedy loop and the polish ---
-    rem = network.volumes.astype(float).copy()
-    tour: List[int] = [0]
-    sojourn_of = {0: 0.0}
+    sojourn_of: Dict[int, float] = {0: 0.0}
     state = {"hover": 0.0, "len": 0.0, "iters": 0}
-    in_tour = np.zeros(m + 1, dtype=bool)
-    in_tour[0] = True
     limit = max_iterations if max_iterations is not None else 2 * K * (m + 1)
     fractions = np.arange(1, K + 1) / K                          # (K,)
 
@@ -98,24 +109,17 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
         """Select (site, k) pairs by max ratio until nothing feasible."""
         while state["iters"] < limit:
             state["iters"] += 1
-            # Residual coverage: R[j, v] = rem_v if site j covers sensor v.
-            R = np.where(cov, rem[None, :], 0.0)                 # (m, n)
-            t_max = (R.max(axis=1) if n else np.zeros(m)) / bandwidth
+            # Residual hover times t', sojourns tau[j, k], and partial
+            # awards (Eq. 4 on residuals) — cached, dirty rows refreshed.
+            t_max, tau, p_partial = kern.partial_scores(fractions)
             eligible_site = t_max > _VOLUME_TOL / bandwidth
             if not eligible_site.any():
                 return
 
-            # Sojourns tau[j, k] and partial awards (Eq. 4 on residuals).
-            tau = t_max[:, None] * fractions[None, :]            # (m, K)
-            p_partial = np.empty((m, K))
-            for k in range(K):
-                p_partial[:, k] = np.minimum(
-                    R, (bandwidth * tau[:, k])[:, None]).sum(axis=1)
-
             # Travel delta: zero for on-tour sites (Lemma 2 upgrade).
-            deltas, positions = _insertion_deltas(sites.points, pts_all[tour])
+            deltas, _positions = kern.insertion_state()
             deltas = np.maximum(deltas, 0.0)
-            deltas[in_tour[1:]] = 0.0
+            deltas[kern.in_tour[1:]] = 0.0
 
             new_energy = ((state["hover"] + tau) * eta_h
                           + (state["len"] + deltas)[:, None] * etat_m)
@@ -132,48 +136,46 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
 
             node = j + 1
             duration = float(tau[j, k])
-            if not in_tour[node]:
-                tour.insert(int(positions[j]), node)
+            if not kern.in_tour[node]:
+                kern.insert(j)
                 state["len"] += float(deltas[j])
-                in_tour[node] = True
                 sojourn_of[node] = 0.0
             sojourn_of[node] += duration
             state["hover"] += duration
 
             # Drain residuals (OFDMA: each covered device uploads
             # min(rem, B * duration) on its own channel).
-            covered_v = cov[j]
-            uploaded = np.minimum(rem[covered_v], bandwidth * duration)
-            rem[covered_v] -= uploaded
-            rem[rem < _VOLUME_TOL] = 0.0
+            kern.drain_partial(j, duration)
 
     greedy_loop()
 
-    if polish and len(tour) >= 4:
-        tour_arr = np.array(tour, dtype=int)
+    if polish and len(kern.tour) >= 4:
+        tour_arr = np.array(kern.tour, dtype=int)
         local_dist = pairwise_distances(pts_all[tour_arr])
         improved = two_opt(np.arange(len(tour_arr)), local_dist)
         start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
         order = np.roll(improved, -start)
-        tour[:] = [int(tour_arr[i]) for i in order]
+        kern.set_tour([int(tour_arr[i]) for i in order])
         state["len"] = tour_length_matrix(
             np.arange(len(order)), local_dist[np.ix_(order, order)])
         greedy_loop()
 
-    sojourns = np.array([sojourn_of[v] for v in tour])
-    collected = network.volumes - rem
+    sojourns = np.array([sojourn_of[v] for v in kern.tour])
+    collected = network.volumes - kern.rem
     return CollectionTour(
-        points=pts_all[np.array(tour, dtype=int)],
+        points=pts_all[np.array(kern.tour, dtype=int)],
         sojourns=sojourns, collected=collected,
         network=network, energy=energy, method="algorithm3",
         meta={
             "n_candidates": m,
             "n_virtual_candidates": m * K,
-            "n_visited": len(tour) - 1,
+            "n_visited": len(kern.tour) - 1,
             "iterations": state["iters"],
             "K": K,
             "polished": bool(polish),
             "delta": float(sites.delta),
+            "engine": engine,
+            "perf": kern.perf(),
         })
 
 

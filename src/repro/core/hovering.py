@@ -93,9 +93,16 @@ class HoveringSites:
     def residual_hover_times(self, residual_volumes) -> np.ndarray:
         """Per-site max residual upload time (Eq. 12's ``t'``), vectorised."""
         rem = np.asarray(residual_volumes, dtype=float)
+        if rem.shape != (self.network.n_nodes,):
+            raise InvalidParameterError(
+                f"residual_volumes must have shape ({self.network.n_nodes},)")
         times = rem / self.radio.bandwidth
         masked = np.where(self.cov_matrix, times[None, :], 0.0)
-        return masked.max(axis=1) if masked.size else np.zeros(self.n_sites)
+        # Guard on the reduced axis (n sensors), not on m: with zero sensors
+        # the (m, 0) max would raise even though every site's time is 0.
+        if masked.shape[1] == 0:
+            return np.zeros(self.n_sites)
+        return masked.max(axis=1)
 
 
 def build_hovering_sites(network: SensorNetwork, radio: RadioModel,
@@ -133,7 +140,11 @@ def build_hovering_sites(network: SensorNetwork, radio: RadioModel,
     awards = cov @ network.volumes
     upload_times = network.volumes / radio.bandwidth
     masked = np.where(cov, upload_times[None, :], 0.0)
-    hover_times = masked.max(axis=1) if masked.size else np.zeros(len(centers))
+    # Guard on the reduced axis: a zero-sensor network yields (m, 0).
+    if masked.shape[1] == 0:
+        hover_times = np.zeros(len(centers))
+    else:
+        hover_times = masked.max(axis=1)
     return HoveringSites(points=centers, cov_matrix=cov, awards=awards,
                          hover_times=hover_times, network=network,
                          radio=radio, delta=float(delta))

@@ -48,6 +48,11 @@ class SweepRow:
     mean_time_s: float
     std_time_s: float
     n_instances: int
+    #: Mean planner-kernel work counters across instances (engine,
+    #: sites_rescored, deltas_recomputed, ... — see
+    #: ``CollectionTour.meta["perf"]``).  Diagnostic only: deliberately
+    #: excluded from :meth:`as_dict` so committed CSV schemas stay stable.
+    perf: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict for CSV writers."""
@@ -123,6 +128,8 @@ def run_sweep(config: ExperimentConfig,
         energy = make_energy(config, value)
         for spec in algorithms:
             volumes, times = [], []
+            perf_acc: Dict[str, List[float]] = {}
+            perf_engine = None
             kwargs = make_kwargs(config, value, spec)
             for net in instances:
                 with Timer() as t:
@@ -132,6 +139,16 @@ def run_sweep(config: ExperimentConfig,
                     cross_validate(tour, radio)
                 volumes.append(tour.collected_volume / MB_PER_GB)
                 times.append(t.elapsed)
+                perf = tour.meta.get("perf")
+                if perf:
+                    perf_engine = perf.get("engine", perf_engine)
+                    for key, val in perf.items():
+                        if isinstance(val, (int, float)):
+                            perf_acc.setdefault(key, []).append(float(val))
+            perf_mean: Optional[Dict[str, Any]] = None
+            if perf_acc:
+                perf_mean = {k: float(np.mean(v)) for k, v in perf_acc.items()}
+                perf_mean["engine"] = perf_engine
             row = SweepRow(
                 param_name=param_name,
                 param_value=float(value),
@@ -140,7 +157,8 @@ def run_sweep(config: ExperimentConfig,
                 std_volume_gb=float(np.std(volumes)),
                 mean_time_s=float(np.mean(times)),
                 std_time_s=float(np.std(times)),
-                n_instances=len(instances))
+                n_instances=len(instances),
+                perf=perf_mean)
             rows.append(row)
             if progress is not None:
                 progress(f"{param_name}={value:g} {spec.name}: "

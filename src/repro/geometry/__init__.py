@@ -25,6 +25,7 @@ from repro.geometry.distance import (
 from repro.geometry.grid import GridPartition
 from repro.geometry.coverage import (
     CoverageIndex,
+    SparseCoverage,
     coverage_sets_bruteforce,
     coverage_matrix,
     projected_radius,
@@ -39,6 +40,7 @@ __all__ = [
     "tour_length",
     "GridPartition",
     "CoverageIndex",
+    "SparseCoverage",
     "coverage_sets_bruteforce",
     "coverage_matrix",
     "projected_radius",

@@ -16,6 +16,7 @@ The UAV at hovering location ``s_j = (x_j, y_j, H)`` covers sensor
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
@@ -89,6 +90,101 @@ def coverage_matrix(candidates, sensors, radius: float) -> np.ndarray:
     return cov
 
 
+@dataclass(frozen=True)
+class SparseCoverage:
+    """CSR view of a boolean coverage matrix, plus its transpose.
+
+    Built once per instance; the incremental planner kernel
+    (:mod:`repro.core.kernel`) walks these index arrays instead of
+    materialising ``(m, n)`` temporaries on every greedy step:
+
+    * ``site_indptr`` / ``site_indices`` — row ``j`` of the matrix, i.e.
+      the sorted sensor indices covered by candidate site ``j``;
+    * ``sensor_indptr`` / ``sensor_indices`` — the transpose: the sorted
+      site indices covering sensor ``v`` (the dirty-set propagation
+      direction — "which candidates must be rescored when ``v`` drains").
+    """
+
+    n_sites: int
+    n_sensors: int
+    site_indptr: np.ndarray
+    site_indices: np.ndarray
+    sensor_indptr: np.ndarray
+    sensor_indices: np.ndarray
+
+    @classmethod
+    def from_matrix(cls, cov: np.ndarray) -> "SparseCoverage":
+        """Build both CSR directions from a dense boolean ``(m, n)`` matrix."""
+        cov = np.asarray(cov, dtype=bool)
+        if cov.ndim != 2:
+            raise InvalidParameterError(
+                f"coverage matrix must be 2-D, got shape {cov.shape}")
+        m, n = cov.shape
+        rows, cols = np.nonzero(cov)          # row-major ⇒ cols sorted per row
+        site_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=m), out=site_indptr[1:])
+        tcols, trows = np.nonzero(cov.T)      # transpose walk, same trick
+        sensor_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(tcols, minlength=n), out=sensor_indptr[1:])
+        return cls(n_sites=m, n_sensors=n,
+                   site_indptr=site_indptr, site_indices=cols,
+                   sensor_indptr=sensor_indptr, sensor_indices=trows)
+
+    @property
+    def nnz(self) -> int:
+        """Number of (site, sensor) coverage pairs."""
+        return len(self.site_indices)
+
+    def sensors_of(self, site: int) -> np.ndarray:
+        """Sorted sensor indices covered by *site* (CSR row slice)."""
+        return self.site_indices[self.site_indptr[site]:
+                                 self.site_indptr[site + 1]]
+
+    def sites_of(self, sensor: int) -> np.ndarray:
+        """Sorted site indices covering *sensor* (transpose row slice)."""
+        return self.sensor_indices[self.sensor_indptr[sensor]:
+                                   self.sensor_indptr[sensor + 1]]
+
+    def sites_covering(self, sensors: np.ndarray) -> np.ndarray:
+        """Sorted unique site indices covering any of *sensors*.
+
+        This is the dirty set of one greedy selection: the only candidates
+        whose residual award / hover time can have changed.
+        """
+        sensors = np.asarray(sensors, dtype=np.int64)
+        if len(sensors) == 0:
+            return np.empty(0, dtype=np.int64)
+        lengths = self.sensor_indptr[sensors + 1] - self.sensor_indptr[sensors]
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Gather all transpose segments in one flat index expression.
+        flat = np.repeat(self.sensor_indptr[sensors]
+                         - np.cumsum(lengths) + lengths, lengths) \
+            + np.arange(total)
+        return np.unique(self.sensor_indices[flat])
+
+    def gather(self, sites: np.ndarray) -> tuple:
+        """Segment gather for a batch of site rows.
+
+        Returns ``(flat, starts, lengths)`` where ``flat`` indexes the
+        concatenated sensor lists of *sites* into ``site_indices`` and
+        ``starts`` are the segment boundaries usable with ``np.add.reduceat``
+        / ``np.maximum.reduceat`` (callers must mask zero-length segments).
+        """
+        sites = np.asarray(sites, dtype=np.int64)
+        lengths = self.site_indptr[sites + 1] - self.site_indptr[sites]
+        total = int(lengths.sum())
+        if total == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.zeros(len(sites), dtype=np.int64), lengths)
+        flat = np.repeat(self.site_indptr[sites]
+                         - np.cumsum(lengths) + lengths, lengths) \
+            + np.arange(total)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        return self.site_indices[flat], starts, lengths
+
+
 class CoverageIndex:
     """KD-tree index over sensors supporting bulk coverage queries.
 
@@ -155,4 +251,5 @@ __all__ = [
     "coverage_sets_bruteforce",
     "coverage_matrix",
     "CoverageIndex",
+    "SparseCoverage",
 ]
