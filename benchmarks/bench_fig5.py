@@ -13,13 +13,7 @@ Paper shapes this harness regenerates:
 
 import pytest
 
-from _common import (
-    CAPACITY_SWEEP,
-    FIXED_DELTA,
-    K_VALUES,
-    energy_with,
-    record_tour,
-)
+from _common import CAPACITY_SWEEP, FIXED_DELTA, K_VALUES, energy_with, record_tour
 from repro.core.algorithm2 import plan_algorithm2
 from repro.core.algorithm3 import plan_algorithm3
 from repro.core.benchmark_alg import plan_benchmark

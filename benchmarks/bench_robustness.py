@@ -10,7 +10,7 @@ a minimum data-retention floor under a moderate headwind.
 
 import pytest
 
-from _common import FIXED_DELTA, energy_with, record_tour
+from _common import FIXED_DELTA, energy_with
 from repro.core.algorithm2 import plan_algorithm2
 from repro.core.algorithm3 import plan_algorithm3
 from repro.sim.perturb import Perturbation, simulate_with_contingency

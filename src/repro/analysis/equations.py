@@ -1,0 +1,61 @@
+"""Registry of paper equations the code is allowed to cite.
+
+The ``paper-eq-refs`` rule requires every ``Eq. (N)`` reference in a
+``repro.*`` docstring to be a key here, and requires each key's *anchor*
+string to actually appear in ``PAPER.md`` — so a docstring can never cite
+an equation the reproduction's paper digest does not document, and the
+digest can never silently drop an equation the code still leans on.
+
+Keys are the paper's equation numbers (IPDPS 2020, Li/Liang/Xu/Jia).
+Equation 10 is the orienteering objective the paper states but the
+reproduction never cites directly, hence its absence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The repo-root document the anchors must appear in.
+PAPER_DOC = "PAPER.md"
+
+#: equation number -> (PAPER.md anchor substring, what the equation is).
+EQUATIONS: Dict[int, "EquationEntry"] = {}
+
+
+class EquationEntry:
+    """One citable equation: its PAPER.md anchor and a short gloss."""
+
+    def __init__(self, anchor: str, gloss: str) -> None:
+        self.anchor = anchor
+        self.gloss = gloss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"EquationEntry({self.anchor!r}, {self.gloss!r})"
+
+
+def _register(numbers: range, anchor: str, glosses: Dict[int, str]) -> None:
+    for n in numbers:
+        EQUATIONS[n] = EquationEntry(anchor, glosses.get(n, anchor))
+
+
+_register(range(1, 6), "Eqs. 1–5", {
+    1: "hover time t(s_j) = max_v D_v / B over covered sensors",
+    2: "award P(s_j) = sum of covered D_v",
+    3: "virtual-location sojourn k·t(s_j)/K",
+    4: "partial award: sum of min(D_v, B·tau)",
+    5: "PDCM objective over virtual locations",
+})
+_register(range(6, 10), "Eqs. 6–9", {
+    6: "candidate award p on the auxiliary graph",
+    7: "hover energy w1 = t · eta_h",
+    8: "edge weight w2 = (w1_i + w1_j)/2 + l · eta_t / speed",
+    9: "travel energy term l · eta_t",
+})
+_register(range(11, 14), "Eqs. 11–13", {
+    11: "residual award P'(s_j) over not-yet-collected sensors",
+    12: "residual hover time t'(s_j)",
+    13: "greedy selection ratio rho(s_j)",
+})
+
+
+__all__ = ["EQUATIONS", "EquationEntry", "PAPER_DOC"]

@@ -1,0 +1,36 @@
+"""The six repro-lint rules.
+
+Each rule is a small, independently-testable object satisfying
+:class:`repro.analysis.engine.Rule`; :func:`default_rules` is the set the
+CLI runs.  See ``docs/analysis.md`` for each rule's rationale and its
+suppression story.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.eqrefs import PaperEquationRule
+from repro.analysis.rules.export_drift import ExportDriftRule
+from repro.analysis.rules.hotpath import HotPathPurityRule
+from repro.analysis.rules.registry_sync import RegistrySyncRule
+from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.units import UnitsSuffixRule
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in reporting order."""
+    return [
+        RngDisciplineRule(),
+        HotPathPurityRule(),
+        RegistrySyncRule(),
+        ExportDriftRule(),
+        UnitsSuffixRule(),
+        PaperEquationRule(),
+    ]
+
+
+__all__ = ["default_rules", "RngDisciplineRule", "HotPathPurityRule",
+           "RegistrySyncRule", "ExportDriftRule", "UnitsSuffixRule",
+           "PaperEquationRule"]

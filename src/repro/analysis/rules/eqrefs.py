@@ -1,0 +1,78 @@
+"""``paper-eq-refs`` — every cited equation exists in the paper digest.
+
+Docstrings throughout ``repro.core`` anchor code to the paper with
+``Eq. (N)`` / ``Eqs. 11–12`` citations; reviewers trust those anchors
+when judging whether a change is faithful to the source.  This rule keeps
+them honest in both directions:
+
+* every equation number cited in a ``repro.*`` docstring must be a key of
+  :data:`repro.analysis.equations.EQUATIONS` (so a citation of a
+  nonexistent equation number — a typo, or the one equation the
+  reproduction deliberately never cites — fails the build);
+* the registry entry's *anchor* string must appear in ``PAPER.md``, so
+  the registry itself cannot drift from the digest it points into.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Set
+
+from repro.analysis.engine import Finding, Project
+from repro.analysis.equations import EQUATIONS, PAPER_DOC
+
+#: ``Eq. 13`` / ``Eq. (4)`` / ``Eqs. 11-12`` / ``Eqs. 6–9`` …
+_EQ_REF_RE = re.compile(
+    r"\bEqs?\.?\s*\(?\s*(\d+)\s*(?:[)\s]*[–—-]\s*\(?\s*(\d+))?")
+
+#: Widest plausible paper equation-range citation.
+_MAX_RANGE = 30
+
+
+class PaperEquationRule:
+    """Validate ``Eq. (N)`` docstring citations against the registry."""
+
+    rule_id = "paper-eq-refs"
+    description = ("docstring Eq./Eqs. citations must be registered in "
+                   "repro.analysis.equations and anchored in PAPER.md")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        paper = project.read_root_file(PAPER_DOC)
+        checked_anchors: Set[int] = set()
+        for mod in project.repro_modules():
+            if mod.tree is None:
+                continue
+            for start_line, text in mod.docstrings():
+                for match in _EQ_REF_RE.finditer(text):
+                    line = start_line + text[: match.start()].count("\n")
+                    lo = int(match.group(1))
+                    hi = int(match.group(2)) if match.group(2) else lo
+                    if not lo <= hi <= lo + _MAX_RANGE:
+                        hi = lo  # "Eq. 9) - 3" style false ranges
+                    for num in range(lo, hi + 1):
+                        entry = EQUATIONS.get(num)
+                        if entry is None:
+                            yield Finding(
+                                rule=self.rule_id, path=mod.rel, line=line,
+                                message=f"docstring cites Eq. ({num}) which "
+                                        "is not in the equation registry",
+                                hint="fix the citation or register the "
+                                     "equation in repro.analysis.equations "
+                                     "with its PAPER.md anchor")
+                            continue
+                        if paper is not None \
+                                and num not in checked_anchors:
+                            checked_anchors.add(num)
+                            if entry.anchor not in paper:
+                                yield Finding(
+                                    rule=self.rule_id, path=mod.rel,
+                                    line=line,
+                                    message=f"Eq. ({num}) registry anchor "
+                                            f"{entry.anchor!r} not found in "
+                                            f"{PAPER_DOC}",
+                                    hint="update the anchor in "
+                                         "repro.analysis.equations to match "
+                                         "the paper digest")
+
+
+__all__ = ["PaperEquationRule"]

@@ -1,0 +1,145 @@
+"""``export-drift`` — ``__all__`` matches what a module actually defines.
+
+``tests/test_public_api.py`` already checks that every ``__all__`` entry
+resolves at runtime for the top-level packages; this rule closes the
+remaining gaps statically and for every ``repro.*`` module:
+
+* an ``__all__`` entry that names nothing defined or imported in the
+  module (a rename that forgot the export list),
+* a public top-level function, class, or ALL_CAPS constant missing from
+  ``__all__`` (new API that downstream ``from repro.x import *`` users
+  and the docs never see),
+* a public module with no ``__all__`` at all.
+
+Private modules (``_vector.py``), ``__main__`` entry points, and names
+starting with ``_`` are out of scope.  Imported names are *allowed* in
+``__all__`` (re-export) but never required.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, Project
+
+
+def _bindings(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
+    """``(defined, imported, public_required)`` names at module top level.
+
+    ``public_required`` is the subset that must appear in ``__all__``:
+    public defs/classes plus ALL_CAPS constants.  Top-level ``if``/``try``
+    bodies count (version/fallback idioms).
+    """
+    defined: Set[str] = set()
+    imported: Set[str] = set()
+    required: Set[str] = set()
+
+    def visit(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                defined.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    required.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in _target_names(target):
+                        defined.add(name)
+                        if not name.startswith("_") and name.isupper() \
+                                and name != "TYPE_CHECKING":
+                            required.add(name)
+            elif isinstance(stmt, ast.AnnAssign):
+                for name in _target_names(stmt.target):
+                    defined.add(name)
+                    if not name.startswith("_") and name.isupper():
+                        required.add(name)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    imported.add((alias.asname
+                                  or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                visit(stmt.body)
+                visit(getattr(stmt, "orelse", []))
+                for handler in getattr(stmt, "handlers", []):
+                    visit(handler.body)
+                visit(getattr(stmt, "finalbody", []))
+
+    visit(tree.body)
+    return defined, imported, required
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    return []
+
+
+def _read_all(tree: ast.Module) -> Optional[Tuple[int, List[str]]]:
+    """``(line, entries)`` of a literal ``__all__``, else None."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in stmt.targets):
+            if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                entries = [e.value for e in stmt.value.elts
+                           if isinstance(e, ast.Constant)
+                           and isinstance(e.value, str)]
+                return stmt.lineno, entries
+    return None
+
+
+class ExportDriftRule:
+    """Flag ``__all__`` drifting from a module's real public surface."""
+
+    rule_id = "export-drift"
+    description = ("__all__ must list exactly the public defs/classes/"
+                   "constants a repro.* module defines")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.repro_modules():
+            if mod.tree is None:
+                continue
+            stem = mod.path.stem
+            if stem == "__main__" or (stem.startswith("_")
+                                      and stem != "__init__"):
+                continue
+            defined, imported, required = _bindings(mod.tree)
+            found = _read_all(mod.tree)
+            if found is None:
+                if required or (stem == "__init__" and imported):
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=1,
+                        message="module defines public names but has no "
+                                "__all__",
+                        hint="add __all__ naming the intended public "
+                             "surface")
+                continue
+            line, entries = found
+            known = defined | imported
+            for name in entries:
+                if name not in known:
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=line,
+                        message=f"__all__ exports {name!r} which is neither "
+                                "defined nor imported here",
+                        hint="remove the stale entry or restore the name")
+            exported = set(entries)
+            for name in sorted(required - exported):
+                yield Finding(
+                    rule=self.rule_id, path=mod.rel, line=line,
+                    message=f"public name {name!r} is defined but missing "
+                            "from __all__",
+                    hint="export it, rename it with a leading underscore, "
+                         "or suppress with '# repro: allow[export-drift]' "
+                         "on the __all__ line")
+
+
+__all__ = ["ExportDriftRule"]

@@ -1,0 +1,135 @@
+"""``hot-path-purity`` — no dense ``(m, n)`` temporaries in marked code.
+
+PR 1's planner kernel exists because the greedy loops must never
+materialise an ``(m, n)`` candidates-by-sensors (or candidates-by-tour)
+array per iteration; `docs/architecture.md` pins that contract.  This
+rule makes the contract machine-checked: inside code marked
+``# repro: hot-path`` it flags
+
+* ``np.zeros`` / ``np.ones`` / ``np.empty`` / ``np.full`` with a
+  multi-dimensional shape,
+* ``np.outer`` (always a dense 2-D product),
+* calls to ``pairwise_distances`` (an ``(n, n)`` matrix by definition),
+* broadcasted 2-D temporaries of the form ``a[:, None] <op> b[None, :]``.
+
+Scope markers nest: a ``# repro: hot-path`` comment at module top level
+marks the whole file; a function containing ``# repro: cold-path``
+opts back out (the legacy dense-engine branches); a single function in an
+otherwise cold module can be marked hot on its own.  Intentional dense
+allocations (small, once-per-run) carry
+``# repro: allow[hot-path-purity] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, Project, SourceModule, iter_call_name
+
+_ALLOC_FUNCS = frozenset({"zeros", "ones", "empty", "full"})
+
+
+def _marker_scopes(mod: SourceModule
+                   ) -> Tuple[bool, List[Tuple[int, int, bool]]]:
+    """Resolve markers to ``(module_hot, [(start, end, hot), ...])``.
+
+    Each marker attaches to the innermost function/class span containing
+    it (module scope when none does).  Spans are returned unsorted; the
+    *innermost* span containing a line decides its state.
+    """
+    spans = mod.scope_spans()
+    module_hot = False
+    marked: List[Tuple[int, int, bool]] = []
+    for line, kind in mod.markers:
+        hot = kind == "hot-path"
+        enclosing = [s for s in spans if s[0] <= line <= s[1]]
+        if not enclosing:
+            module_hot = module_hot or hot
+            continue
+        start, end = min(enclosing, key=lambda s: s[1] - s[0])
+        marked.append((start, end, hot))
+    return module_hot, marked
+
+
+def _is_hot(line: int, module_hot: bool,
+            marked: List[Tuple[int, int, bool]]) -> bool:
+    enclosing = [s for s in marked if s[0] <= line <= s[1]]
+    if not enclosing:
+        return module_hot
+    innermost = min(enclosing, key=lambda s: s[1] - s[0])
+    return innermost[2]
+
+
+def _broadcast_axes(node: ast.expr) -> Optional[str]:
+    """Classify ``x[:, None]`` as ``"col"`` and ``x[None, :]`` as ``"row"``."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    sl = node.slice
+    if not (isinstance(sl, ast.Tuple) and len(sl.elts) == 2):
+        return None
+    a, b = sl.elts
+    a_none = isinstance(a, ast.Constant) and a.value is None
+    b_none = isinstance(b, ast.Constant) and b.value is None
+    if isinstance(a, ast.Slice) and b_none:
+        return "col"
+    if a_none and isinstance(b, ast.Slice):
+        return "row"
+    return None
+
+
+class HotPathPurityRule:
+    """Flag dense 2-D allocations inside ``# repro: hot-path`` scopes."""
+
+    rule_id = "hot-path-purity"
+    description = ("no dense (m, n) temporaries inside '# repro: hot-path' "
+                   "code — use the kernel's sparse/incremental state")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.modules:
+            if mod.tree is None or not mod.markers:
+                continue
+            module_hot, marked = _marker_scopes(mod)
+            if not module_hot and not any(hot for _, _, hot in marked):
+                continue
+            for node in ast.walk(mod.tree):
+                found = self._classify(node)
+                if found is None:
+                    continue
+                if not _is_hot(node.lineno, module_hot, marked):
+                    continue
+                yield Finding(
+                    rule=self.rule_id, path=mod.rel, line=node.lineno,
+                    message=f"{found} in hot-path code",
+                    hint="serve this from PlannerKernel's incremental "
+                         "state, move it behind a '# repro: cold-path' "
+                         "function, or justify it with "
+                         "'# repro: allow[hot-path-purity] -- reason'")
+
+    @staticmethod
+    def _classify(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            chain = iter_call_name(node)
+            tail = chain[-1] if chain else ""
+            if tail in _ALLOC_FUNCS and len(chain) >= 2:
+                shape = node.args[0] if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "shape":
+                        shape = kw.value
+                if isinstance(shape, (ast.Tuple, ast.List)) \
+                        and len(shape.elts) >= 2:
+                    dims = len(shape.elts)
+                    return (f"dense {dims}-D allocation "
+                            f"{'.'.join(chain)}(...)")
+            if tail == "outer" and len(chain) >= 2:
+                return f"dense outer product {'.'.join(chain)}(...)"
+            if tail == "pairwise_distances":
+                return "full pairwise-distance matrix pairwise_distances(...)"
+        if isinstance(node, ast.BinOp):
+            axes = {_broadcast_axes(node.left), _broadcast_axes(node.right)}
+            if axes == {"col", "row"}:
+                return "broadcasted 2-D temporary (a[:, None] op b[None, :])"
+        return None
+
+
+__all__ = ["HotPathPurityRule"]

@@ -1,0 +1,197 @@
+"""``registry-sync`` — registries, dispatchers, and docs stay in step.
+
+Three registries gate how users reach the planners:
+
+* ``repro.core.planner.PLANNERS`` (method name -> description) must match
+  the ``method == "..."`` dispatch branches inside ``plan_tour`` exactly,
+  in both directions;
+* ``repro.core.kernel.ENGINES`` must contain every ``engine=`` string
+  default in the library (function defaults and ``kwargs.pop("engine",
+  ...)`` fallbacks alike);
+* ``docs/architecture.md`` must mention every planner method and every
+  engine, so the architecture document cannot silently fall behind a new
+  registry entry.
+
+The rule reads the registry modules from the project root even when the
+checked paths do not include them (``check tests`` still sees ``src``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, Project, SourceModule, iter_call_name
+
+_PLANNER_MODULE = "src/repro/core/planner.py"
+_KERNEL_MODULE = "src/repro/core/kernel.py"
+_ARCH_DOC = "docs/architecture.md"
+
+
+def _string_elements(node: ast.expr) -> Optional[List[str]]:
+    """Constant string elements of a list/tuple literal, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _top_level_assign(mod: SourceModule, name: str) -> Optional[ast.expr]:
+    """Value of a top-level ``name = ...`` assignment, else None."""
+    if mod.tree is None:
+        return None
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt.value
+    return None
+
+
+class RegistrySyncRule:
+    """Cross-check PLANNERS/ENGINES against dispatch code and docs."""
+
+    rule_id = "registry-sync"
+    description = ("PLANNERS/ENGINES registries must match plan_tour "
+                   "dispatch, engine= defaults, and docs/architecture.md")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        yield from self._check_planners(project)
+        yield from self._check_engines(project)
+
+    # -- PLANNERS <-> plan_tour <-> docs -------------------------------- #
+
+    def _check_planners(self, project: Project) -> Iterator[Finding]:
+        mod = project.ensure_module(_PLANNER_MODULE)
+        if mod is None or mod.tree is None:
+            return
+        value = _top_level_assign(mod, "PLANNERS")
+        keys: List[str] = []
+        if isinstance(value, ast.Dict):
+            for k in value.keys:
+                if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                    keys.append(k.value)
+        if not keys:
+            yield Finding(rule=self.rule_id, path=mod.rel, line=1,
+                          message="PLANNERS registry not found as a literal "
+                                  "dict of string keys",
+                          hint="keep PLANNERS a flat {name: description} "
+                               "literal so tools can read it")
+            return
+        dispatched = self._dispatch_strings(mod)
+        for key in keys:
+            if key not in dispatched:
+                yield Finding(
+                    rule=self.rule_id, path=mod.rel, line=1,
+                    message=f"PLANNERS key {key!r} has no "
+                            "'method == ...' dispatch branch in plan_tour",
+                    hint="add the dispatch branch or drop the registry entry")
+        for name in sorted(dispatched - set(keys)):
+            yield Finding(
+                rule=self.rule_id, path=mod.rel, line=1,
+                message=f"plan_tour dispatches on {name!r} which is missing "
+                        "from the PLANNERS registry",
+                hint="register the method in PLANNERS (CLIs and experiment "
+                     "configs enumerate it)")
+        arch = project.read_root_file(_ARCH_DOC)
+        if arch is not None:
+            for key in keys:
+                if key not in arch:
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=1,
+                        message=f"planner method {key!r} is not mentioned "
+                                f"in {_ARCH_DOC}",
+                        hint="document the planner in the architecture notes")
+
+    @staticmethod
+    def _dispatch_strings(mod: SourceModule) -> Set[str]:
+        out: Set[str] = set()
+        if mod.tree is None:
+            return out
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name == "plan_tour"):
+                continue
+            for cmp_node in ast.walk(node):
+                if not isinstance(cmp_node, ast.Compare):
+                    continue
+                if not (isinstance(cmp_node.left, ast.Name)
+                        and cmp_node.left.id == "method"):
+                    continue
+                if len(cmp_node.ops) == 1 \
+                        and isinstance(cmp_node.ops[0], (ast.Eq, ast.In)):
+                    for comp in cmp_node.comparators:
+                        if isinstance(comp, ast.Constant) \
+                                and isinstance(comp.value, str):
+                            out.add(comp.value)
+        return out
+
+    # -- ENGINES <-> engine= defaults <-> docs -------------------------- #
+
+    def _check_engines(self, project: Project) -> Iterator[Finding]:
+        kernel = project.ensure_module(_KERNEL_MODULE)
+        if kernel is None or kernel.tree is None:
+            return
+        value = _top_level_assign(kernel, "ENGINES")
+        engines = _string_elements(value) if value is not None else None
+        if not engines:
+            yield Finding(rule=self.rule_id, path=kernel.rel, line=1,
+                          message="ENGINES registry not found as a literal "
+                                  "tuple/list of strings",
+                          hint="keep ENGINES a flat literal so tools can "
+                               "read it")
+            return
+        known = set(engines)
+        for mod in project.repro_modules():
+            if mod.tree is None:
+                continue
+            for node in ast.walk(mod.tree):
+                for line, default in self._engine_defaults(node):
+                    if default not in known:
+                        yield Finding(
+                            rule=self.rule_id, path=mod.rel, line=line,
+                            message=f"engine default {default!r} is not in "
+                                    f"core.kernel.ENGINES {tuple(engines)}",
+                            hint="register the engine in ENGINES or fix the "
+                                 "default")
+        arch = project.read_root_file(_ARCH_DOC)
+        if arch is not None:
+            for engine in engines:
+                if f'"{engine}"' not in arch:
+                    yield Finding(
+                        rule=self.rule_id, path=kernel.rel, line=1,
+                        message=f"engine {engine!r} is not mentioned in "
+                                f"{_ARCH_DOC}",
+                        hint="document the engine in the architecture notes")
+
+    @staticmethod
+    def _engine_defaults(node: ast.AST) -> Iterator[Tuple[int, str]]:
+        """Yield ``(line, default)`` for engine= parameter/pop defaults."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            params = args.posonlyargs + args.args + args.kwonlyargs
+            defaults = ([None] * (len(args.posonlyargs) + len(args.args)
+                                  - len(args.defaults))
+                        + list(args.defaults) + list(args.kw_defaults))
+            for arg, default in zip(params, defaults):
+                if arg.arg == "engine" and isinstance(default, ast.Constant) \
+                        and isinstance(default.value, str):
+                    yield arg.lineno, default.value
+        if isinstance(node, ast.Call):
+            chain = iter_call_name(node)
+            if chain and chain[-1] in ("pop", "get") and len(node.args) == 2:
+                key, default = node.args
+                if (isinstance(key, ast.Constant) and key.value == "engine"
+                        and isinstance(default, ast.Constant)
+                        and isinstance(default.value, str)):
+                    yield node.lineno, default.value
+
+
+__all__ = ["RegistrySyncRule"]

@@ -1,0 +1,99 @@
+"""``rng-discipline`` — all randomness routes through ``repro.utils.rng``.
+
+The paper's evaluation averages "15 instances per point"; bitwise
+reproducibility of those sweeps rests on one convention: library code
+never constructs generators or draws from module-level RNG state
+directly.  Entry points accept a ``seed``/``rng`` argument, normalise it
+with :func:`repro.utils.rng.as_rng`, and derive per-trial children with
+:func:`repro.utils.rng.spawn_rngs`.  A stray ``np.random.default_rng()``
+(or a legacy ``np.random.uniform`` / stdlib ``random`` call) silently
+forks the seeding scheme and is exactly the kind of drift no review
+catches twice.
+
+Scope: modules inside the ``repro`` package, except ``repro/utils/rng.py``
+itself (the one place allowed to touch numpy's constructors).  Tests are
+exempt — pinning ``np.random.default_rng(seed)`` in a test is the
+discipline working, not a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Project, iter_call_name
+
+#: Callables under ``*.random.`` whose direct use forks RNG state.
+_NUMPY_RANDOM_BANNED = frozenset({
+    "default_rng", "seed", "RandomState", "rand", "randn", "randint",
+    "random", "random_sample", "choice", "uniform", "normal",
+    "standard_normal", "shuffle", "permutation", "exponential", "poisson",
+    "beta", "gamma", "binomial", "integers",
+})
+
+#: Stdlib ``random`` module functions (module-level global state).
+_STDLIB_RANDOM_BANNED = frozenset({
+    "random", "seed", "randint", "randrange", "choice", "choices",
+    "uniform", "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular",
+})
+
+_EXEMPT_SUFFIX = "repro/utils/rng.py"
+
+
+class RngDisciplineRule:
+    """Flag direct RNG construction/draws outside ``repro.utils.rng``."""
+
+    rule_id = "rng-discipline"
+    description = ("library randomness must route through "
+                   "repro.utils.rng.as_rng / spawn_rngs")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.repro_modules():
+            if mod.tree is None or mod.rel.endswith(_EXEMPT_SUFFIX):
+                continue
+            # Names imported straight out of numpy.random / random count
+            # as direct use no matter how they are later called.
+            direct_names = set()
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ImportFrom) and node.module in (
+                        "numpy.random", "random"):
+                    for alias in node.names:
+                        direct_names.add(alias.asname or alias.name)
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = iter_call_name(node)
+                offender = self._offender(chain, direct_names)
+                if offender:
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=node.lineno,
+                        message=f"direct RNG call {offender!r}; library code "
+                                "must not construct or draw from numpy/stdlib "
+                                "RNG state itself",
+                        hint="accept a SeedLike argument and call "
+                             "repro.utils.rng.as_rng(seed) (or spawn_rngs "
+                             "for per-trial children); or add "
+                             "'# repro: allow[rng-discipline]' with a reason")
+
+    @staticmethod
+    def _offender(chain: "list[str]", direct_names: "set[str]") -> str:
+        if not chain:
+            return ""
+        dotted = ".".join(chain)
+        if len(chain) >= 2 and chain[-2] == "random" \
+                and chain[-1] in _NUMPY_RANDOM_BANNED:
+            # np.random.default_rng, numpy.random.uniform, ...
+            # but not rng.integers on a Generator: that requires the
+            # receiver to be literally named ``random``, which Generator
+            # variables in this codebase never are.
+            return dotted
+        if len(chain) == 2 and chain[0] == "random" \
+                and chain[1] in _STDLIB_RANDOM_BANNED:
+            return dotted
+        if len(chain) == 1 and chain[0] in direct_names:
+            return dotted
+        return ""
+
+
+__all__ = ["RngDisciplineRule"]

@@ -1,0 +1,148 @@
+"""``units-suffix`` — unit discipline in :mod:`repro.energy`.
+
+The whole system is metres / seconds / joules / MB (README "Units"); the
+energy package is where a stray kilojoule or minute would corrupt every
+planner decision downstream.  Inside ``repro/energy/`` this rule checks
+every bound name (functions, parameters, assignment targets, ``self.``
+attributes, dataclass fields):
+
+* names advertising a **non-canonical unit** (``_kj``, ``_kwh``, ``_km``,
+  ``_min``, ``_ms``, ``_gb``, …) are always errors — the codebase has no
+  business holding such a quantity;
+* names containing a **quantity keyword** (energy/power/distance/time/
+  duration/speed/capacity) must either end in an approved canonical
+  suffix (``_j``, ``_w``, ``_m``, ``_s``, ``_mps``, ``_mb``, ``_mbps``,
+  or a ``_per_*`` rate spelling) or be one of the grandfathered
+  :data:`ESTABLISHED_NAMES` that predate this rule (the public
+  ``EnergyModel`` / ``EnergyLedger`` API, frozen by
+  ``tests/test_public_api.py``).
+
+New quantity-carrying names therefore must self-document their unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from repro.analysis.engine import Finding, Project
+
+#: Suffixes naming units this codebase must never hold a value in.
+BANNED_SUFFIXES: Tuple[str, ...] = (
+    "_kwh", "_wh", "_kj", "_mj", "_kw", "_mw", "_km", "_cm", "_mm", "_ft",
+    "_mi", "_yd", "_min", "_mins", "_hr", "_hrs", "_ms", "_us", "_ns",
+    "_kmh", "_mph", "_kb", "_gb", "_tb", "_kbps", "_gbps",
+)
+
+#: Canonical suffixes: joules, watts (J/s), metres, seconds, m/s, MB, MB/s.
+APPROVED_SUFFIXES: Tuple[str, ...] = (
+    "_j", "_w", "_m", "_s", "_mps", "_mb", "_mbps",
+)
+
+#: Quantity keywords that oblige a name to carry a unit suffix.
+_QUANTITY_RE = re.compile(
+    r"(energy|joule|power|watt|dist|time|duration|elapsed|speed|velocity|"
+    r"capacity)", re.IGNORECASE)
+
+#: Pre-rule public API of repro.energy, frozen by tests/test_public_api.py.
+#: Additions belong in the suffix scheme, not here.
+ESTABLISHED_NAMES = frozenset({
+    "capacity", "hover_power", "travel_power", "speed",
+    "distance_based_travel", "travel_cost_per_meter", "travel_time",
+    "hover_time", "travel_energy", "hover_energy", "tour_energy", "energy",
+    "duration", "distance", "max_travel_distance", "max_hover_duration",
+    "remaining_hover_time", "travel_distance", "hover_duration",
+    "with_capacity", "EnergyModel", "EnergyLedger",
+    "PAPER_ENERGY_MODEL", "PAPER_LITERAL_ENERGY_MODEL",
+})
+
+_SCOPE_FRAGMENT = "repro/energy/"
+
+
+def _has_suffix(name: str, suffixes: Tuple[str, ...]) -> bool:
+    low = name.lower()
+    return any(low.endswith(s) for s in suffixes)
+
+
+def _is_rate_spelling(name: str) -> bool:
+    """``*_per_meter`` / ``*_per_s`` style compound rates are canonical."""
+    return "_per_" in name.lower()
+
+
+def _bound_names(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Every ``(line, name)`` the module binds that the rule inspects."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.lineno, node.name
+            args = node.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else [])):
+                if arg.arg not in ("self", "cls"):
+                    yield arg.lineno, arg.arg
+        elif isinstance(node, ast.ClassDef):
+            yield node.lineno, node.name
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from _target_names(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            yield from _target_names(node.target)
+
+
+def _target_names(target: ast.expr) -> Iterator[Tuple[int, str]]:
+    if isinstance(target, ast.Name):
+        yield target.lineno, target.id
+    elif isinstance(target, ast.Attribute):
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            yield target.lineno, target.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+class UnitsSuffixRule:
+    """Enforce canonical unit suffixes on quantity names in repro.energy."""
+
+    rule_id = "units-suffix"
+    description = ("quantity names in repro/energy/ must carry _j/_w/_m/_s "
+                   "style unit suffixes (or be grandfathered API)")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.repro_modules():
+            if mod.tree is None or _SCOPE_FRAGMENT not in mod.rel:
+                continue
+            seen = set()
+            for line, name in _bound_names(mod.tree):
+                if (line, name) in seen:
+                    continue
+                seen.add((line, name))
+                if name.startswith("__"):
+                    continue
+                bare = name.lstrip("_")
+                if _has_suffix(name, BANNED_SUFFIXES):
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=line,
+                        message=f"{name!r} advertises a non-canonical unit; "
+                                "this codebase is metres/seconds/joules/MB "
+                                "end to end",
+                        hint="convert at the boundary and store the "
+                             "canonical unit (_j/_w/_m/_s/_mps/_mb)")
+                    continue
+                if not _QUANTITY_RE.search(bare):
+                    continue
+                if _has_suffix(name, APPROVED_SUFFIXES) \
+                        or _is_rate_spelling(name) \
+                        or bare in ESTABLISHED_NAMES:
+                    continue
+                yield Finding(
+                    rule=self.rule_id, path=mod.rel, line=line,
+                    message=f"quantity name {name!r} carries no unit "
+                            "suffix",
+                    hint="suffix it with _j/_w/_m/_s/_mps/_mb(ps), or — "
+                         "for pre-existing public API only — add it to "
+                         "ESTABLISHED_NAMES in repro.analysis.rules.units")
+
+
+__all__ = ["UnitsSuffixRule", "APPROVED_SUFFIXES", "BANNED_SUFFIXES",
+           "ESTABLISHED_NAMES"]

@@ -26,23 +26,9 @@ from repro.core.algorithm2 import plan_algorithm2
 from repro.core.algorithm3 import plan_algorithm3
 from repro.core.benchmark_alg import plan_benchmark
 from repro.core.planner import plan_tour, PLANNERS
-from repro.core.bounds import (
-    UpperBoundReport,
-    collection_upper_bound,
-    hover_bound,
-    reach_bound,
-)
-from repro.core.multi_uav import (
-    FleetPlan,
-    plan_fleet,
-    partition_sectors,
-    partition_kmeans,
-)
-from repro.core.exact_dcm import (
-    ExactDCMResult,
-    solve_dcm_exact,
-    optimality_gap,
-)
+from repro.core.bounds import UpperBoundReport, collection_upper_bound, hover_bound, reach_bound
+from repro.core.multi_uav import FleetPlan, plan_fleet, partition_sectors, partition_kmeans
+from repro.core.exact_dcm import ExactDCMResult, solve_dcm_exact, optimality_gap
 from repro.core.export import (
     Waypoint,
     tour_to_waypoints,

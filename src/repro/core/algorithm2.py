@@ -134,6 +134,7 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         ``"kernel"`` — incremental sparse planner state (default);
         ``"dense"`` — legacy full-recompute loops (identical results).
     """
+    # repro: hot-path  (the greedy loop must stay O(overlap) per step)
     if tsp_mode not in ("insertion", "christofides"):
         raise InvalidParameterError(
             f"tsp_mode must be 'insertion' or 'christofides', got {tsp_mode!r}")
@@ -160,6 +161,7 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
 
     dist_all = None
     if tsp_mode == "christofides":
+        # repro: allow[hot-path-purity] -- paper-literal mode, small m only
         dist_all = pairwise_distances(pts_all)
 
     while iterations < limit:
@@ -235,8 +237,10 @@ def _polish_and_refill(kern: PlannerKernel, sojourn_of: Dict[int, float],
     flushes the kernel's insertion cache — the one full O(m·|tour|) rescan
     a polished run pays.
     """
+    # repro: hot-path  (post-polish refill re-enters the greedy loop)
     tour_arr = np.array(kern.tour, dtype=int)
     tour_pts = kern.points_all[tour_arr]
+    # repro: allow[hot-path-purity] -- (|tour|, |tour|) only, not (m, n)
     local_dist = pairwise_distances(tour_pts)
     improved = two_opt(np.arange(len(tour_arr)), local_dist)
     start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
@@ -272,4 +276,4 @@ def _polish_and_refill(kern: PlannerKernel, sojourn_of: Dict[int, float],
     return tour_len, hover_total
 
 
-__all__ = ["plan_algorithm2"]
+__all__ = ["plan_algorithm2", "SCORING_POLICIES"]

@@ -85,6 +85,7 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
         ``"kernel"`` — incremental sparse planner state (default);
         ``"dense"`` — legacy full-recompute loops (identical results).
     """
+    # repro: hot-path  (the greedy loop must stay O(overlap) per step)
     K = check_integer(K, "K", minimum=1)
     check_engine(engine)
     if sites is None:
@@ -151,6 +152,7 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
 
     if polish and len(kern.tour) >= 4:
         tour_arr = np.array(kern.tour, dtype=int)
+        # repro: allow[hot-path-purity] -- (|tour|, |tour|) only, not (m, n)
         local_dist = pairwise_distances(pts_all[tour_arr])
         improved = two_opt(np.arange(len(tour_arr)), local_dist)
         start = int(np.flatnonzero(tour_arr[improved] == 0)[0])

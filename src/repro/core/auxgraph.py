@@ -14,7 +14,6 @@ property test suite re-verifies that on random instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -22,6 +21,7 @@ from repro.core.hovering import HoveringSites
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
 from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import as_rng
 
 
 @dataclass
@@ -79,7 +79,7 @@ class AuxiliaryGraph:
         n = self.n_nodes
         if n < 3:
             return True
-        rng = np.random.default_rng(seed)
+        rng = as_rng(seed)
         for _ in range(n_samples):
             i, j, k = rng.choice(n, size=3, replace=False)
             if self.costs[i, k] > self.costs[i, j] + self.costs[j, k] + tol:

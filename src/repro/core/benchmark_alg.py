@@ -54,6 +54,7 @@ def plan_benchmark(network: SensorNetwork, energy: EnergyModel,
         ``"kernel"`` — incremental neighbour-only rescoring (default);
         ``"dense"`` — legacy full rescan per removal (identical results).
     """
+    # repro: hot-path  (the prune-down must stay O(1) rescores per removal)
     check_engine(engine)
     n = network.n_nodes
     pts_all = np.vstack([network.depot[None, :], network.positions])
@@ -63,6 +64,9 @@ def plan_benchmark(network: SensorNetwork, energy: EnergyModel,
     etat_m = energy.travel_cost_per_meter
     capacity = energy.capacity
 
+    # Christofides needs the full (n+1, n+1) sensor metric; the baseline's
+    # n is the sensor count, not the candidate-grid m.
+    # repro: allow[hot-path-purity] -- (n+1, n+1) over sensors, not (m, n)
     dist = pairwise_distances(pts_all)
     if n == 0:
         tour = [0]

@@ -29,7 +29,7 @@ exceed the full-collection optimum), and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -15,8 +15,8 @@ can never contribute award), which keeps the candidate count linear in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

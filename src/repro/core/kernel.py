@@ -46,6 +46,11 @@ the work actually done.
 
 from __future__ import annotations
 
+# repro: hot-path
+# (The whole module is checked by the hot-path-purity rule: no dense
+# (m, n) temporaries may be allocated here.  The legacy dense-engine
+# methods opt out individually with '# repro: cold-path'.)
+
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -203,7 +208,10 @@ class PlannerKernel:
                                                          fractions):
             self._fractions = fractions.copy()
             self._partial_dirty[:] = True
+            # (m, K) caches, K small and allocated once per fractions change.
+            # repro: allow[hot-path-purity] -- (m, K) cache, not (m, n)
             self._tau = np.zeros((self.m, len(fractions)))
+            # repro: allow[hot-path-purity] -- (m, K) cache, not (m, n)
             self._p_partial = np.zeros((self.m, len(fractions)))
         if self._sparse:
             t0 = time.perf_counter()
@@ -221,6 +229,7 @@ class PlannerKernel:
 
     def _dense_partial(self) -> None:
         """Legacy formulation: full ``(m, n)`` residual matrix per call."""
+        # repro: cold-path  (the dense engine is the equivalence baseline)
         cov = self.sites.cov_matrix
         fractions = self._fractions
         assert fractions is not None
@@ -245,6 +254,7 @@ class PlannerKernel:
                 and self._tau is not None and self._p_partial is not None)
         dirty = np.flatnonzero(self._partial_dirty)
         self._partial_dirty[:] = False
+        # repro: allow[hot-path-purity] -- (|dirty|, K) rows, not (m, n)
         tau_d = self._t_res[dirty][:, None] * self._fractions[None, :]
         self._tau[dirty] = tau_d
         idxs, starts, lengths = self.csr.gather(dirty)

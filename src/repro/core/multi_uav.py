@@ -15,7 +15,7 @@ disjoint so fleet totals are simple sums.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

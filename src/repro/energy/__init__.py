@@ -14,11 +14,7 @@ flying at constant speed.  The tour constraint is
   paper attributes to a DJI Phantom 4 Pro class airframe).
 """
 
-from repro.energy.model import (
-    EnergyModel,
-    PAPER_ENERGY_MODEL,
-    PAPER_LITERAL_ENERGY_MODEL,
-)
+from repro.energy.model import EnergyModel, PAPER_ENERGY_MODEL, PAPER_LITERAL_ENERGY_MODEL
 from repro.energy.ledger import EnergyLedger, LedgerEntry
 
 __all__ = ["EnergyModel", "PAPER_ENERGY_MODEL", "PAPER_LITERAL_ENERGY_MODEL",

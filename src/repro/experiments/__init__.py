@@ -12,11 +12,7 @@
 * :mod:`repro.experiments.cli` — ``repro-experiments`` command-line entry.
 """
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    paper_settings,
-    reduced_settings,
-)
+from repro.experiments.config import ExperimentConfig, paper_settings, reduced_settings
 from repro.experiments.instances import make_instances
 from repro.experiments.runner import AlgoSpec, SweepResult, run_sweep
 from repro.experiments.fig3 import run_fig3
@@ -33,11 +29,7 @@ from repro.experiments.claims import (
     check_fig5_claims,
     claims_to_markdown,
 )
-from repro.experiments.report import (
-    load_sweep_csv,
-    load_results_dir,
-    generate_report,
-)
+from repro.experiments.report import load_sweep_csv, load_results_dir, generate_report
 from repro.experiments.stats import (
     mean_confidence_interval,
     row_confidence_interval,

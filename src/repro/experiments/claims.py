@@ -27,7 +27,7 @@ Claims encoded (paper §VII-B/C/D):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

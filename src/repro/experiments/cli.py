@@ -22,11 +22,6 @@ import pathlib
 import sys
 from typing import Callable, Dict
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    paper_settings,
-    reduced_settings,
-)
 from repro.experiments.ascii_plot import render_sweep
 from repro.experiments.claims import (
     check_fig3_claims,
@@ -34,6 +29,7 @@ from repro.experiments.claims import (
     check_fig5_claims,
     claims_to_markdown,
 )
+from repro.experiments.config import ExperimentConfig, paper_settings, reduced_settings
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
@@ -141,3 +137,6 @@ def main(argv=None) -> int:
 
 if __name__ == "__main__":  # pragma: no cover
     raise SystemExit(main())
+
+
+__all__ = ["main", "RUNNERS", "CLAIM_CHECKERS"]

@@ -14,8 +14,8 @@ shrinks ~4-10x.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 from repro.energy.model import EnergyModel
 from repro.geometry.region import Region

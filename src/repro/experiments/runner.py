@@ -15,11 +15,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.planner import plan_tour
-from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
-from repro.radio.link import RadioModel
 from repro.sim.validate import cross_validate
 from repro.utils.timing import Timer
 

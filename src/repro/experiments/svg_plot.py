@@ -232,4 +232,5 @@ def render_sweep_svg(result: SweepResult, *, panel: str = "volume",
         ylabel=ylabel, xlabel=result.rows[0].param_name)
 
 
-__all__ = ["render_series_svg", "render_sweep_svg", "PALETTE"]
+__all__ = ["render_series_svg", "render_sweep_svg", "PALETTE",
+           "GRID", "INK_PRIMARY", "INK_SECONDARY", "SURFACE"]

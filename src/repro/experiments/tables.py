@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, List, Sequence
+from typing import List
 
-from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.runner import SweepResult
 
 
 def rows_to_csv(result: SweepResult) -> str:

@@ -160,4 +160,5 @@ def render_tour_svg(tour: CollectionTour, radio: RadioModel, *,
     return "\n".join(parts)
 
 
-__all__ = ["render_tour_svg"]
+__all__ = ["render_tour_svg", "PATH_COLOR", "FULL_COLOR", "PARTIAL_COLOR",
+           "EMPTY_COLOR"]

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.utils.errors import InvalidParameterError
-from repro.utils.validation import check_non_negative, check_positive, check_points_array
+from repro.utils.validation import check_non_negative, check_points_array, check_positive
 
 
 def projected_radius(transmission_range: float, altitude: float) -> float:

@@ -11,13 +11,13 @@ implicitly assumes this pruning).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.geometry.region import Region
 from repro.utils.errors import InvalidParameterError
-from repro.utils.validation import check_positive, check_points_array
+from repro.utils.validation import check_points_array, check_positive
 
 
 @dataclass(frozen=True)

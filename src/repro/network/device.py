@@ -10,7 +10,7 @@ Two tiers, per paper §III-A:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

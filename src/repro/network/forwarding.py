@@ -13,7 +13,7 @@ no data is created or destroyed by forwarding.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree

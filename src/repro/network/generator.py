@@ -11,7 +11,7 @@ regular-grid (metering) deployments, all driven by the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

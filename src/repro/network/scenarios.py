@@ -21,7 +21,7 @@ depot at the region centre.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 import numpy as np
 

@@ -13,11 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-    make_solution,
-)
+from repro.orienteering.problem import OrienteeringInstance, OrienteeringSolution, make_solution
 from repro.utils.errors import InvalidParameterError
 
 #: Subset DP hard limit (memory ~ n * 2^n doubles).

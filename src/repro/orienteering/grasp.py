@@ -12,14 +12,10 @@ for the Bansal et al. 3-approximation (DESIGN.md substitution S1).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.orienteering.greedy import randomized_construct, solve_greedy
 from repro.orienteering.local_search import improve_solution
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-)
+from repro.orienteering.problem import OrienteeringInstance, OrienteeringSolution
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_integer
 

@@ -12,11 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.orienteering._vector import greedy_fill
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-    make_solution,
-)
+from repro.orienteering.problem import OrienteeringInstance, OrienteeringSolution, make_solution
 from repro.utils.rng import SeedLike, as_rng
 
 

@@ -19,11 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.orienteering._vector import drop_worst, greedy_fill, swap_pass
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-    make_solution,
-)
+from repro.orienteering.problem import OrienteeringInstance, OrienteeringSolution, make_solution
 from repro.tsp.improve import two_opt
 
 

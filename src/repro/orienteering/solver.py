@@ -10,10 +10,7 @@ from __future__ import annotations
 from repro.orienteering.exact import MAX_EXACT_NODES, solve_exact
 from repro.orienteering.grasp import solve_grasp
 from repro.orienteering.greedy import solve_greedy
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-)
+from repro.orienteering.problem import OrienteeringInstance, OrienteeringSolution
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import SeedLike
 

@@ -20,7 +20,6 @@ from repro.radio.link import DistanceRateModel, RadioModel
 from repro.radio.ofdma import OFDMAScheduler
 from repro.sim.events import FlightLeg, HoverEvent
 from repro.sim.trace import MissionTrace
-from repro.utils.errors import InfeasibleTourError
 
 
 def simulate_mission(tour: CollectionTour, radio: RadioModel, *,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Union
 
 import numpy as np
@@ -62,7 +62,7 @@ class MissionTrace:
     def summary(self) -> str:
         """One-paragraph human-readable mission report."""
         legs, hovers = self.flight_legs, self.hovers
-        travel = sum(l.distance for l in legs)
+        travel = sum(leg.distance for leg in legs)
         return (
             f"mission: {len(legs)} legs ({travel:.0f} m), "
             f"{len(hovers)} hovers ({sum(h.duration for h in hovers):.1f} s), "

@@ -19,13 +19,13 @@ All functions operate on a symmetric distance matrix and index tours
 back to the first).
 """
 
-from repro.tsp.length import (
-    tour_length_matrix,
-    validate_tour,
-    rotate_to_start,
-    tour_edges,
+from repro.tsp.length import tour_length_matrix, validate_tour, rotate_to_start, tour_edges
+from repro.tsp.construct import (
+    nearest_neighbor_tour,
+    cheapest_insertion_tour,
+    insertion_delta,
+    best_insertion,
 )
-from repro.tsp.construct import nearest_neighbor_tour, cheapest_insertion_tour, insertion_delta, best_insertion
 from repro.tsp.christofides import christofides_tour
 from repro.tsp.improve import two_opt, or_opt
 from repro.tsp.exact import held_karp

@@ -13,7 +13,6 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.tsp.length import validate_tour
 from repro.utils.errors import InvalidParameterError
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tsp.length import tour_length_matrix
 from repro.utils.errors import InvalidParameterError
 
 

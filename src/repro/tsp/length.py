@@ -9,7 +9,7 @@ the planners build once per instance via
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

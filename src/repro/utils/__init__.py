@@ -4,11 +4,7 @@ These helpers are deliberately small and dependency-free so that every
 other subpackage can import them without risk of circular imports.
 """
 
-from repro.utils.errors import (
-    ReproError,
-    InfeasibleTourError,
-    InvalidParameterError,
-)
+from repro.utils.errors import ReproError, InfeasibleTourError, InvalidParameterError
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.validation import (

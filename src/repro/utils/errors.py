@@ -34,3 +34,6 @@ class InfeasibleTourError(ReproError):
         self.required = required
         #: Energy (J) the UAV battery holds, when known.
         self.available = available
+
+
+__all__ = ["ReproError", "InvalidParameterError", "InfeasibleTourError"]

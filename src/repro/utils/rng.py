@@ -10,7 +10,7 @@ may be ``None``, an ``int``, or an already-constructed
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -1,0 +1,475 @@
+"""Fixture tests: every repro-lint rule fires on a known-bad snippet and
+stays quiet on a known-good one.
+
+Fixtures are written into a throwaway project tree (``tmp_path``) shaped
+like the real repo (``src/repro/...`` + root documents) so path-scoped
+rules (energy-only, repro-only) see realistic layouts.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+
+from repro.analysis.engine import Project, run_rules
+from repro.analysis.rules import (
+    ExportDriftRule,
+    HotPathPurityRule,
+    PaperEquationRule,
+    RegistrySyncRule,
+    RngDisciplineRule,
+    UnitsSuffixRule,
+)
+
+
+def make_project(tmp_path, files, docs=None):
+    """Materialise *files* (rel path -> source) and load a Project."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    for rel, text in (docs or {}).items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return Project.load(tmp_path, [tmp_path / "src"])
+
+
+def rule_findings(project, rule):
+    return [f for f in run_rules(project, [rule]) if f.rule == rule.rule_id]
+
+
+class TestRngDiscipline:
+    BAD = """
+        import numpy as np
+
+        def sample(seed):
+            rng = np.random.default_rng(seed)
+            return rng.uniform()
+    """
+    GOOD = """
+        from repro.utils.rng import as_rng
+
+        def sample(seed):
+            rng = as_rng(seed)
+            return rng.uniform()
+    """
+
+    def test_fires_on_default_rng(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/net/gen.py": self.BAD})
+        found = rule_findings(project, RngDisciplineRule())
+        assert len(found) == 1
+        assert "np.random.default_rng" in found[0].message
+        assert found[0].line == 5
+        assert "as_rng" in found[0].hint
+
+    def test_quiet_on_as_rng(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/net/gen.py": self.GOOD})
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+    def test_quiet_inside_rng_module_itself(self, tmp_path):
+        project = make_project(
+            tmp_path, {"src/repro/utils/rng.py": self.BAD})
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+    def test_quiet_outside_repro_package(self, tmp_path):
+        # Tests pin np.random.default_rng(seed) deliberately.
+        (tmp_path / "src").mkdir()
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_x.py").write_text(
+            textwrap.dedent(self.BAD))
+        project = Project.load(tmp_path, [tmp_path / "tests"])
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+    def test_fires_on_stdlib_random_and_from_import(self, tmp_path):
+        bad = """
+            import random
+            from numpy.random import default_rng
+
+            def jitter():
+                return random.uniform(0, 1) + default_rng().uniform()
+        """
+        project = make_project(tmp_path, {"src/repro/sim/j.py": bad})
+        found = rule_findings(project, RngDisciplineRule())
+        assert {f.message.split("'")[1] for f in found} == {
+            "random.uniform", "default_rng"}
+
+    def test_allow_directive_suppresses(self, tmp_path):
+        allowed = """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)  # repro: allow[rng-discipline]
+                return rng.uniform()
+        """
+        project = make_project(tmp_path, {"src/repro/net/gen.py": allowed})
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+
+class TestHotPathPurity:
+    BAD = """
+        # repro: hot-path
+        import numpy as np
+
+        def rescore(cov, rem):
+            scores = np.zeros((len(cov), len(rem)))
+            return scores
+    """
+    GOOD = """
+        # repro: hot-path
+        import numpy as np
+
+        def rescore(vals, starts):
+            out = np.zeros(len(starts))
+            out[:] = np.add.reduceat(vals, starts)
+            return out
+    """
+
+    def test_fires_on_dense_alloc_in_hot_module(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/core/k.py": self.BAD})
+        found = rule_findings(project, HotPathPurityRule())
+        assert len(found) == 1
+        assert "np.zeros" in found[0].message
+
+    def test_quiet_on_1d_alloc(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/core/k.py": self.GOOD})
+        assert rule_findings(project, HotPathPurityRule()) == []
+
+    def test_quiet_without_marker(self, tmp_path):
+        unmarked = self.BAD.replace("# repro: hot-path", "")
+        project = make_project(tmp_path, {"src/repro/core/k.py": unmarked})
+        assert rule_findings(project, HotPathPurityRule()) == []
+
+    def test_cold_path_function_opts_out(self, tmp_path):
+        mixed = """
+            # repro: hot-path
+            import numpy as np
+
+            def dense_reference(cov, rem):
+                # repro: cold-path
+                return np.where(cov, rem[None, :], 0.0) @ np.ones(len(rem))
+
+            def hot(cov, rem):
+                return rem[:, None] * cov[None, :]
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": mixed})
+        found = rule_findings(project, HotPathPurityRule())
+        assert len(found) == 1
+        assert found[0].message.startswith("broadcasted 2-D temporary")
+        assert "def hot" in project.modules[0].text.splitlines()[
+            found[0].line - 2] or found[0].line == 9
+
+    def test_hot_function_in_cold_module(self, tmp_path):
+        mixed = """
+            import numpy as np
+
+            def cold(a, b):
+                return np.outer(a, b)
+
+            def hot(a, b):
+                # repro: hot-path
+                return np.outer(a, b)
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": mixed})
+        found = rule_findings(project, HotPathPurityRule())
+        assert len(found) == 1
+        assert found[0].line == 9
+
+    def test_flags_pairwise_distances_and_outer(self, tmp_path):
+        bad = """
+            # repro: hot-path
+            import numpy as np
+            from repro.geometry.distance import pairwise_distances
+
+            def build(points, a, b):
+                return pairwise_distances(points), np.outer(a, b)
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        kinds = {f.message.split(" in hot-path")[0]
+                 for f in rule_findings(project, HotPathPurityRule())}
+        assert len(kinds) == 2
+
+    def test_allow_with_reason_suppresses(self, tmp_path):
+        allowed = """
+            # repro: hot-path
+            import numpy as np
+
+            def small_cache(m, k):
+                # repro: allow[hot-path-purity] -- (m, K) cache, K small
+                return np.zeros((m, k))
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": allowed})
+        assert rule_findings(project, HotPathPurityRule()) == []
+
+
+PLANNER_OK = """
+    PLANNERS = {"algorithm2": "greedy", "benchmark": "baseline"}
+
+    def plan_tour(network, *, method="algorithm2", **kwargs):
+        if method == "algorithm2":
+            return 2
+        if method == "benchmark":
+            kwargs.pop("engine", "kernel")
+            return 0
+        raise ValueError(method)
+"""
+
+KERNEL_OK = """
+    ENGINES = ("kernel", "dense")
+
+    def check_engine(engine):
+        return engine
+"""
+
+ARCH_OK = 'planners: algorithm2 and benchmark; engines "kernel" and "dense".'
+
+
+class TestRegistrySync:
+    def files(self, planner=PLANNER_OK, kernel=KERNEL_OK):
+        return {"src/repro/core/planner.py": planner,
+                "src/repro/core/kernel.py": kernel}
+
+    def test_quiet_when_in_sync(self, tmp_path):
+        project = make_project(tmp_path, self.files(),
+                               docs={"docs/architecture.md": ARCH_OK})
+        assert rule_findings(project, RegistrySyncRule()) == []
+
+    def test_fires_on_registry_key_without_dispatch(self, tmp_path):
+        planner = PLANNER_OK.replace(
+            '"benchmark": "baseline"',
+            '"benchmark": "baseline", "algorithm9": "ghost"')
+        project = make_project(tmp_path, self.files(planner=planner),
+                               docs={"docs/architecture.md":
+                                     ARCH_OK + " algorithm9"})
+        found = rule_findings(project, RegistrySyncRule())
+        assert len(found) == 1
+        assert "'algorithm9'" in found[0].message
+        assert "dispatch" in found[0].message
+
+    def test_fires_on_dispatch_without_registry_key(self, tmp_path):
+        planner = PLANNER_OK + """
+        def plan_tour_unused():
+            pass
+        """
+        planner = planner.replace(
+            "        raise ValueError(method)",
+            '        if method == "secret":\n'
+            "            return 9\n"
+            "        raise ValueError(method)")
+        project = make_project(tmp_path, self.files(planner=planner),
+                               docs={"docs/architecture.md": ARCH_OK})
+        found = rule_findings(project, RegistrySyncRule())
+        assert any("'secret'" in f.message and "missing" in f.message
+                   for f in found)
+
+    def test_fires_on_unknown_engine_default(self, tmp_path):
+        files = self.files()
+        files["src/repro/core/fast.py"] = """
+            def plan_fast(network, *, engine="turbo"):
+                return engine
+        """
+        project = make_project(tmp_path, files,
+                               docs={"docs/architecture.md": ARCH_OK})
+        found = rule_findings(project, RegistrySyncRule())
+        assert len(found) == 1
+        assert "'turbo'" in found[0].message
+
+    def test_fires_on_undocumented_planner(self, tmp_path):
+        project = make_project(
+            tmp_path, self.files(),
+            docs={"docs/architecture.md":
+                  'only algorithm2 here; engines "kernel" and "dense"'})
+        found = rule_findings(project, RegistrySyncRule())
+        assert len(found) == 1
+        assert "'benchmark'" in found[0].message
+        assert "architecture" in found[0].message
+
+    def test_sees_registries_outside_checked_paths(self, tmp_path):
+        # `check tests` alone must still load src registries from the root.
+        for rel, src in self.files().items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(src))
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "architecture.md").write_text(ARCH_OK)
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_a.py").write_text("x = 1\n")
+        project = Project.load(tmp_path, [tmp_path / "tests"])
+        assert rule_findings(project, RegistrySyncRule()) == []
+
+
+class TestExportDrift:
+    def test_fires_on_stale_entry(self, tmp_path):
+        bad = """
+            def plan():
+                return 1
+
+            __all__ = ["plan", "plan_removed"]
+        """
+        project = make_project(tmp_path, {"src/repro/core/x.py": bad})
+        found = rule_findings(project, ExportDriftRule())
+        assert len(found) == 1
+        assert "'plan_removed'" in found[0].message
+
+    def test_fires_on_unexported_public_name(self, tmp_path):
+        bad = """
+            POLICIES = ("a", "b")
+
+            def plan():
+                return 1
+
+            __all__ = ["plan"]
+        """
+        project = make_project(tmp_path, {"src/repro/core/x.py": bad})
+        found = rule_findings(project, ExportDriftRule())
+        assert len(found) == 1
+        assert "'POLICIES'" in found[0].message
+
+    def test_fires_on_missing_all(self, tmp_path):
+        project = make_project(
+            tmp_path, {"src/repro/core/x.py": "def plan():\n    return 1\n"})
+        found = rule_findings(project, ExportDriftRule())
+        assert len(found) == 1
+        assert "no __all__" in found[0].message
+
+    def test_quiet_on_consistent_module(self, tmp_path):
+        good = """
+            from repro.utils.errors import ReproError
+
+            LIMIT = 3
+
+            def _helper():
+                return 0
+
+            def plan():
+                return LIMIT
+
+            __all__ = ["plan", "LIMIT", "ReproError"]
+        """
+        project = make_project(tmp_path, {"src/repro/core/x.py": good})
+        assert rule_findings(project, ExportDriftRule()) == []
+
+    def test_private_modules_and_main_exempt(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/core/_vec.py": "def fast():\n    return 1\n",
+            "src/repro/core/__main__.py": "def main():\n    return 0\n",
+        })
+        assert rule_findings(project, ExportDriftRule()) == []
+
+
+class TestUnitsSuffix:
+    def test_fires_on_suffixless_quantity(self, tmp_path):
+        bad = """
+            def plan_leg(flight_time, hover_power):
+                climb_energy = flight_time * 2.0
+                return climb_energy
+        """
+        project = make_project(tmp_path, {"src/repro/energy/leg.py": bad})
+        names = {f.message.split("'")[1]
+                 for f in rule_findings(project, UnitsSuffixRule())}
+        assert names == {"flight_time", "climb_energy"}
+
+    def test_fires_on_banned_unit(self, tmp_path):
+        bad = "cruise_speed_kmh = 45.0\n"
+        project = make_project(tmp_path, {"src/repro/energy/leg.py": bad})
+        found = rule_findings(project, UnitsSuffixRule())
+        assert len(found) == 1
+        assert "non-canonical unit" in found[0].message
+
+    def test_quiet_on_canonical_suffixes(self, tmp_path):
+        good = """
+            def plan_leg(flight_time_s, climb_energy_j, speed_mps):
+                travel_cost_per_meter = climb_energy_j / 100.0
+                return flight_time_s * speed_mps + travel_cost_per_meter
+        """
+        project = make_project(tmp_path, {"src/repro/energy/leg.py": good})
+        assert rule_findings(project, UnitsSuffixRule()) == []
+
+    def test_established_api_grandfathered(self, tmp_path):
+        good = """
+            class EnergyModel:
+                def travel_time(self, distance):
+                    return distance / self.speed
+        """
+        project = make_project(tmp_path, {"src/repro/energy/m.py": good})
+        assert rule_findings(project, UnitsSuffixRule()) == []
+
+    def test_scope_is_energy_package_only(self, tmp_path):
+        bad = "flight_time = 3.0\n"
+        project = make_project(tmp_path, {"src/repro/core/leg.py": bad})
+        assert rule_findings(project, UnitsSuffixRule()) == []
+
+
+PAPER_FIXTURE = """
+    # Paper digest
+    Hover time and awards (Eqs. 1–5); aux graph (Eqs. 6–9);
+    greedy selection (Eqs. 11–13).
+"""
+
+
+class TestPaperEquationRefs:
+    def test_quiet_on_registered_citation(self, tmp_path):
+        good = '''
+            """Greedy ratio (Eq. 13) over residual awards (Eqs. 11-12)."""
+        '''
+        project = make_project(tmp_path, {"src/repro/core/a.py": good},
+                               docs={"PAPER.md": PAPER_FIXTURE})
+        assert rule_findings(project, PaperEquationRule()) == []
+
+    def test_fires_on_unregistered_equation(self, tmp_path):
+        bad = '''
+            """Implements Eq. (42), the answer to everything."""
+        '''
+        project = make_project(tmp_path, {"src/repro/core/a.py": bad},
+                               docs={"PAPER.md": PAPER_FIXTURE})
+        found = rule_findings(project, PaperEquationRule())
+        assert len(found) == 1
+        assert "Eq. (42)" in found[0].message
+
+    def test_fires_on_never_cited_eq_10(self, tmp_path):
+        bad = '''
+            """The orienteering objective (Eq. 10)."""
+        '''
+        project = make_project(tmp_path, {"src/repro/core/a.py": bad},
+                               docs={"PAPER.md": PAPER_FIXTURE})
+        found = rule_findings(project, PaperEquationRule())
+        assert len(found) == 1
+
+    def test_fires_when_anchor_missing_from_paper(self, tmp_path):
+        good = '''
+            """Residual award (Eq. 11)."""
+        '''
+        project = make_project(
+            tmp_path, {"src/repro/core/a.py": good},
+            docs={"PAPER.md": "# digest without the equations tables"})
+        found = rule_findings(project, PaperEquationRule())
+        assert len(found) == 1
+        assert "anchor" in found[0].message
+
+    def test_range_citations_expand(self, tmp_path):
+        good = '''
+            """Aux graph weights (Eqs. 6–9)."""
+        '''
+        project = make_project(tmp_path, {"src/repro/core/a.py": good},
+                               docs={"PAPER.md": PAPER_FIXTURE})
+        assert rule_findings(project, PaperEquationRule()) == []
+
+    def test_line_numbers_point_into_docstring(self, tmp_path):
+        bad = '''
+            """Module header.
+
+            Later paragraph cites Eq. (99).
+            """
+        '''
+        project = make_project(tmp_path, {"src/repro/core/a.py": bad},
+                               docs={"PAPER.md": PAPER_FIXTURE})
+        found = rule_findings(project, PaperEquationRule())
+        assert found[0].line == 4
+
+
+class TestEveryRuleHasFixtureCoverage:
+    def test_all_default_rules_tested(self):
+        from repro.analysis.rules import default_rules
+        tested = {"rng-discipline", "hot-path-purity", "registry-sync",
+                  "export-drift", "units-suffix", "paper-eq-refs"}
+        assert {r.rule_id for r in default_rules()} == tested

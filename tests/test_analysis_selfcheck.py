@@ -1,0 +1,29 @@
+"""The acceptance criterion as a test: the repo's own tree is repro-lint
+clean (with an empty baseline), and the shipped baseline really is empty."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import BASELINE_NAME, check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_src_tree_is_clean():
+    findings = check_paths(REPO_ROOT, [REPO_ROOT / "src"])
+    assert findings == [], "\n".join(f.location + " " + f.message
+                                     for f in findings)
+
+
+def test_tests_tree_is_clean():
+    findings = check_paths(REPO_ROOT, [REPO_ROOT / "tests"])
+    assert findings == [], "\n".join(f.location + " " + f.message
+                                     for f in findings)
+
+
+def test_shipped_baseline_is_empty():
+    baseline = json.loads((REPO_ROOT / BASELINE_NAME).read_text())
+    assert baseline["version"] == 1
+    assert baseline["findings"] == []

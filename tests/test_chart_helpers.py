@@ -1,11 +1,10 @@
 """Unit tests for the chart-internals (_nice_ticks, _fmt, table pivots)."""
 
-import pytest
 
+from repro.experiments.config import reduced_settings
+from repro.experiments.runner import SweepResult, SweepRow
 from repro.experiments.svg_plot import _fmt, _nice_ticks
 from repro.experiments.tables import _markdown_table, _pivot
-from repro.experiments.runner import SweepResult, SweepRow
-from repro.experiments.config import reduced_settings
 
 
 class TestNiceTicks:

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.bounds import (
-    collection_upper_bound,
-    hover_bound,
-    reach_bound,
-)
+from repro.core.bounds import collection_upper_bound, hover_bound, reach_bound
 from repro.core.planner import plan_tour
 from repro.energy.model import EnergyModel
 

@@ -1,17 +1,11 @@
 """Unit tests for the exact DCM reference solver (order-aware DP)."""
 
-import numpy as np
 import pytest
 
 from repro.core.algorithm1 import plan_algorithm1
 from repro.core.algorithm2 import plan_algorithm2
 from repro.core.algorithm3 import plan_algorithm3
-from repro.core.exact_dcm import (
-    MAX_EXACT_SITES,
-    optimality_gap,
-    solve_dcm_exact,
-)
-from repro.core.hovering import build_hovering_sites
+from repro.core.exact_dcm import optimality_gap, solve_dcm_exact
 from repro.core.tour import validate_tour_feasibility
 from repro.energy.model import EnergyModel
 from repro.geometry.region import Region

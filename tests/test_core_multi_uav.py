@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.multi_uav import (
-    partition_kmeans,
-    partition_sectors,
-    plan_fleet,
-)
+from repro.core.multi_uav import partition_kmeans, partition_sectors, plan_fleet
 from repro.core.planner import plan_tour
 from repro.core.tour import validate_tour_feasibility
 from repro.utils.errors import InvalidParameterError

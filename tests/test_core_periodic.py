@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.periodic import PeriodicReport, RoundRecord, run_periodic_collection
+from repro.core.periodic import run_periodic_collection
 from repro.energy.model import EnergyModel
 from repro.utils.errors import InvalidParameterError
 

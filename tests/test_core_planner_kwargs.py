@@ -1,0 +1,82 @@
+"""``plan_tour`` kwarg validation: unknown methods, stray options, and
+``engine=`` passthrough to every engine-aware planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import ENGINES
+from repro.core.planner import PLANNERS, plan_tour
+from repro.utils.errors import InvalidParameterError
+
+
+class TestMethodValidation:
+    def test_unknown_method_raises_and_names_the_registry(
+            self, small_net, energy, radio):
+        with pytest.raises(InvalidParameterError) as exc:
+            plan_tour(small_net, energy, radio, method="algorithm7")
+        message = str(exc.value)
+        assert "algorithm7" in message
+        for known in PLANNERS:
+            assert known in message
+
+    def test_method_is_keyword_only(self, small_net, energy, radio):
+        with pytest.raises(TypeError):
+            plan_tour(small_net, energy, radio, "algorithm2")
+
+    def test_every_registered_method_dispatches(self, tiny_net, energy,
+                                                radio):
+        for method in PLANNERS:
+            tour = plan_tour(tiny_net, energy, radio, method=method,
+                             delta=25.0)
+            assert tour.method == method
+
+
+class TestStrayKwargs:
+    def test_benchmark_rejects_stray_kwargs(self, small_net, energy, radio):
+        with pytest.raises(InvalidParameterError) as exc:
+            plan_tour(small_net, energy, radio, method="benchmark",
+                      K=4, polish=True)
+        message = str(exc.value)
+        assert "K" in message and "polish" in message
+
+    def test_algorithm2_rejects_unknown_kwargs(self, small_net, energy,
+                                               radio):
+        with pytest.raises(TypeError):
+            plan_tour(small_net, energy, radio, method="algorithm2",
+                      warp_speed=True)
+
+    def test_bad_engine_rejected_everywhere(self, small_net, energy, radio):
+        for method in ("algorithm2", "algorithm3", "benchmark"):
+            with pytest.raises(InvalidParameterError) as exc:
+                plan_tour(small_net, energy, radio, method=method,
+                          delta=25.0, engine="turbo")
+            assert "turbo" in str(exc.value)
+
+
+class TestEnginePassthrough:
+    @pytest.mark.parametrize("method", ["algorithm2", "algorithm3",
+                                        "benchmark"])
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_engine_reaches_tour_meta(self, small_net, energy, radio,
+                                      method, engine):
+        tour = plan_tour(small_net, energy, radio, method=method,
+                         delta=25.0, engine=engine)
+        assert tour.meta["engine"] == engine
+
+    def test_engine_default_is_kernel(self, small_net, energy, radio):
+        for method in ("algorithm2", "algorithm3", "benchmark"):
+            tour = plan_tour(small_net, energy, radio, method=method,
+                             delta=25.0)
+            assert tour.meta["engine"] == "kernel"
+
+    def test_engines_agree_through_the_facade(self, small_net, energy,
+                                              radio):
+        tours = [plan_tour(small_net, energy, radio, method="algorithm2",
+                           delta=25.0, engine=e) for e in ENGINES]
+        baseline = tours[0]
+        for other in tours[1:]:
+            assert other.collected_volume == pytest.approx(
+                baseline.collected_volume)
+            assert list(other.sojourns) == pytest.approx(
+                list(baseline.sojourns))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.energy.model import EnergyModel, PAPER_ENERGY_MODEL
+from repro.energy.model import PAPER_ENERGY_MODEL, EnergyModel
 from repro.utils.errors import InvalidParameterError
 
 

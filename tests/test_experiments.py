@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.config import (
-    ExperimentConfig,
-    paper_settings,
-    reduced_settings,
-)
+from repro.experiments.config import ExperimentConfig, paper_settings, reduced_settings
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5

@@ -47,9 +47,9 @@ class TestRenderSeries:
 
     def test_dimensions_respected(self):
         out = render_series([1, 2], {"A": [1.0, 2.0]}, width=30, height=8)
-        chart_lines = [l for l in out.splitlines() if "|" in l]
+        chart_lines = [ln for ln in out.splitlines() if "|" in ln]
         assert len(chart_lines) == 8
-        assert all(len(l) <= 12 + 30 for l in chart_lines)
+        assert all(len(ln) <= 12 + 30 for ln in chart_lines)
 
 
 class TestRenderSweep:

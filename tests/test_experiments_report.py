@@ -4,11 +4,7 @@ import xml.etree.ElementTree as ET
 
 import pytest
 
-from repro.experiments.report import (
-    generate_report,
-    load_results_dir,
-    load_sweep_csv,
-)
+from repro.experiments.report import generate_report, load_results_dir, load_sweep_csv
 from repro.experiments.runner import SweepResult
 from repro.experiments.tables import rows_to_csv
 from repro.utils.errors import InvalidParameterError

@@ -6,11 +6,7 @@ import pytest
 
 from repro.experiments.config import reduced_settings
 from repro.experiments.runner import SweepResult, SweepRow
-from repro.experiments.svg_plot import (
-    PALETTE,
-    render_series_svg,
-    render_sweep_svg,
-)
+from repro.experiments.svg_plot import PALETTE, render_series_svg, render_sweep_svg
 from repro.utils.errors import InvalidParameterError
 
 SVG_NS = "{http://www.w3.org/2000/svg}"

@@ -128,10 +128,7 @@ class TestPublicApi:
 
 class TestSerializationIntegration:
     def test_persisted_instance_plans_identically(self, tmp_path):
-        from repro.network.serialization import (
-            network_from_json,
-            network_to_json,
-        )
+        from repro.network.serialization import network_from_json, network_to_json
         net = paper_default_network(20, seed=5)
         path = tmp_path / "net.json"
         path.write_text(network_to_json(net))

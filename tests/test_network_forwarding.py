@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.network.forwarding import (
-    aggregate_volumes,
-    assign_forwarding,
-    build_two_tier_network,
-)
+from repro.network.forwarding import aggregate_volumes, assign_forwarding, build_two_tier_network
 from repro.utils.errors import InvalidParameterError
 
 

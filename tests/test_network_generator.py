@@ -5,8 +5,8 @@ import pytest
 
 from repro.geometry.region import Region
 from repro.network.generator import (
-    NetworkGenerator,
     PAPER_VOLUME_RANGE,
+    NetworkGenerator,
     clustered_network,
     grid_network,
     paper_default_network,

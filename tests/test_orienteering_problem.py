@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geometry.distance import pairwise_distances
-from repro.orienteering.problem import (
-    OrienteeringInstance,
-    OrienteeringSolution,
-    make_solution,
-)
+from repro.orienteering.problem import OrienteeringInstance, make_solution
 from repro.utils.errors import InvalidParameterError
 
 

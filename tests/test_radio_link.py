@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.radio.link import (
-    DistanceRateModel,
-    PAPER_RADIO_MODEL,
-    RadioModel,
-)
+from repro.radio.link import PAPER_RADIO_MODEL, DistanceRateModel, RadioModel
 from repro.utils.errors import InvalidParameterError
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.algorithm2 import plan_algorithm2
 from repro.core.tour import CollectionTour
-from repro.sim.events import FlightLeg, HoverEvent
 from repro.sim.simulator import simulate_mission
 from repro.sim.validate import cross_validate
 from repro.utils.errors import InfeasibleTourError
@@ -47,7 +46,7 @@ class TestSimulator:
 
     def test_total_travel_matches_tour_length(self, planned, radio):
         trace = simulate_mission(planned, radio)
-        travel = sum(l.distance for l in trace.flight_legs)
+        travel = sum(leg.distance for leg in trace.flight_legs)
         assert travel == pytest.approx(planned.travel_distance)
 
     def test_hover_count(self, planned, radio):

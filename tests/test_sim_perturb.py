@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.algorithm2 import plan_algorithm2
-from repro.sim.perturb import (
-    Perturbation,
-    evaluate_robustness,
-    simulate_with_contingency,
-)
+from repro.sim.perturb import Perturbation, evaluate_robustness, simulate_with_contingency
 from repro.utils.errors import InvalidParameterError
 
 

@@ -43,15 +43,15 @@ class TestHeldKarp:
         assert length == pytest.approx(length0)
 
     def test_trivial_sizes(self):
-        t, l = held_karp(np.zeros((0, 0)))
-        assert len(t) == 0 and l == 0.0
-        t, l = held_karp(np.zeros((1, 1)))
-        assert list(t) == [0] and l == 0.0
+        t, length = held_karp(np.zeros((0, 0)))
+        assert len(t) == 0 and length == 0.0
+        t, length = held_karp(np.zeros((1, 1)))
+        assert list(t) == [0] and length == 0.0
 
     def test_two_nodes(self):
         d = np.array([[0.0, 7.0], [7.0, 0.0]])
-        t, l = held_karp(d)
-        assert l == 14.0
+        t, length = held_karp(d)
+        assert length == 14.0
 
     def test_size_limit(self):
         n = MAX_EXACT_NODES + 1

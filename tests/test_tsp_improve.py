@@ -7,7 +7,7 @@ from repro.geometry.distance import pairwise_distances
 from repro.tsp.construct import nearest_neighbor_tour
 from repro.tsp.exact import held_karp
 from repro.tsp.improve import or_opt, two_opt
-from repro.tsp.length import tour_length_matrix, validate_tour
+from repro.tsp.length import tour_length_matrix
 
 
 @pytest.fixture

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geometry.distance import pairwise_distances, tour_length
-from repro.tsp.length import (
-    rotate_to_start,
-    tour_edges,
-    tour_length_matrix,
-    validate_tour,
-)
+from repro.tsp.length import rotate_to_start, tour_edges, tour_length_matrix, validate_tour
 from repro.utils.errors import InvalidParameterError
 
 

@@ -4,11 +4,7 @@ import time
 
 import pytest
 
-from repro.utils.errors import (
-    InfeasibleTourError,
-    InvalidParameterError,
-    ReproError,
-)
+from repro.utils.errors import InfeasibleTourError, InvalidParameterError, ReproError
 from repro.utils.timing import Timer
 
 
