@@ -1,0 +1,118 @@
+"""Observability bench — tracing overhead on and off.
+
+The repro.obs contract is that a *disabled* span site costs one global
+load and a method call returning the shared ``NULL_SPAN`` — cheap enough
+to leave in the planners' greedy loops permanently — and that an
+*enabled* tracer adds bounded per-span bookkeeping without changing any
+planner output.  This bench pins both:
+
+* micro: a tight loop over a disabled span site vs the bare loop, and the
+  same loop with a recording tracer installed (for the enabled cost);
+* macro: ``plan_algorithm2`` untraced vs traced on the shared reduced
+  instance, shape-tested to stay bitwise-identical and to keep the traced
+  run within a small factor of the untraced one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import FIXED_DELTA, energy_with, record_tour
+from repro.core.algorithm2 import plan_algorithm2
+from repro.obs.tracer import NULL_SPAN, Tracer, activated, span
+
+#: Battery for the planner-level comparisons (binds at |V| = 100).
+OBS_CAPACITY = 6e4
+
+#: Iterations of the micro span-site loop.
+MICRO_ITERS = 50_000
+
+
+def _spin_spans(n: int) -> int:
+    """The instrumented hot-loop shape: one span site per iteration."""
+    acc = 0
+    for i in range(n):
+        with span("bench.op"):
+            acc += i
+    return acc
+
+
+def _spin_bare(n: int) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i
+    return acc
+
+
+def test_micro_disabled_span_site(benchmark):
+    assert span("bench.op") is NULL_SPAN  # tracing must be off here
+    total = benchmark.pedantic(_spin_spans, args=(MICRO_ITERS,),
+                               rounds=3, iterations=1)
+    assert total == _spin_bare(MICRO_ITERS)
+
+
+def test_micro_bare_loop(benchmark):
+    benchmark.pedantic(_spin_bare, args=(MICRO_ITERS,),
+                       rounds=3, iterations=1)
+
+
+def test_micro_enabled_span_site(benchmark):
+    def traced() -> int:
+        with activated(Tracer()):
+            return _spin_spans(MICRO_ITERS)
+
+    total = benchmark.pedantic(traced, rounds=3, iterations=1)
+    assert total == _spin_bare(MICRO_ITERS)
+
+
+@pytest.mark.parametrize("traced", [False, True], ids=["off", "on"])
+def test_plan_alg2_tracing(benchmark, bench_network, bench_radio, traced):
+    energy = energy_with(OBS_CAPACITY)
+    kwargs = {"trace": Tracer()} if traced else {}
+
+    def run():
+        from repro.core.planner import plan_tour
+        return plan_tour(bench_network, energy, bench_radio,
+                         method="algorithm2", delta=FIXED_DELTA, **kwargs)
+
+    tour = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_tour(benchmark, tour)
+
+
+# --------------------------------------------------------------------- #
+# Shape tests: identity and bounded overhead
+# --------------------------------------------------------------------- #
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def test_shape_traced_identical_and_bounded(bench_network, bench_radio):
+    """Tracing never changes the tour; traced run stays within 2x."""
+    energy = energy_with(OBS_CAPACITY)
+    plain, t_plain = _timed(plan_algorithm2, bench_network, energy,
+                            bench_radio, FIXED_DELTA)
+    tracer = Tracer()
+    with activated(tracer):
+        traced, t_traced = _timed(plan_algorithm2, bench_network, energy,
+                                  bench_radio, FIXED_DELTA)
+    np.testing.assert_array_equal(plain.points, traced.points)
+    np.testing.assert_array_equal(plain.sojourns, traced.sojourns)
+    np.testing.assert_array_equal(plain.collected, traced.collected)
+    assert len(tracer.records()) > 0
+    # Generous bound: span bookkeeping is micro-scale next to the numerics.
+    assert t_traced <= max(2.0 * t_plain, t_plain + 0.5), (
+        f"traced plan took {t_traced:.3f}s vs {t_plain:.3f}s untraced")
+
+
+def test_shape_disabled_overhead_small():
+    """A disabled span site costs well under a microsecond."""
+    assert span("bench.op") is NULL_SPAN
+    _spin_spans(1000)  # warm up
+    _, t_spans = _timed(_spin_spans, MICRO_ITERS)
+    per_site_s = t_spans / MICRO_ITERS
+    assert per_site_s < 5e-6, f"{per_site_s * 1e9:.0f} ns per disabled span"

@@ -1,4 +1,4 @@
-"""The six repro-lint rules.
+"""The seven repro-lint rules.
 
 Each rule is a small, independently-testable object satisfying
 :class:`repro.analysis.engine.Rule`; :func:`default_rules` is the set the
@@ -16,6 +16,7 @@ from repro.analysis.rules.export_drift import ExportDriftRule
 from repro.analysis.rules.hotpath import HotPathPurityRule
 from repro.analysis.rules.registry_sync import RegistrySyncRule
 from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.spannames import ObsSpanNamingRule
 from repro.analysis.rules.units import UnitsSuffixRule
 
 
@@ -28,9 +29,10 @@ def default_rules() -> List[Rule]:
         ExportDriftRule(),
         UnitsSuffixRule(),
         PaperEquationRule(),
+        ObsSpanNamingRule(),
     ]
 
 
 __all__ = ["default_rules", "RngDisciplineRule", "HotPathPurityRule",
            "RegistrySyncRule", "ExportDriftRule", "UnitsSuffixRule",
-           "PaperEquationRule"]
+           "PaperEquationRule", "ObsSpanNamingRule"]

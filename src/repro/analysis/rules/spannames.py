@@ -1,0 +1,80 @@
+"""``obs-span-naming`` — dotted lowercase span names at every trace site.
+
+The :mod:`repro.obs` profiling report and Chrome-trace export aggregate by
+span *name*; a free-form name ("Rescore!", "kernelRescore") fragments the
+aggregation and breaks grepping a trace back to its module.  This rule
+checks every ``span("...")`` call site in the ``repro`` package: the first
+argument, when it is a string literal, must be a dotted lowercase path
+
+    <module>.<operation>            e.g. ``kernel.rescore``, ``alg2.round``
+
+— at least two dot-separated segments, each ``[a-z][a-z0-9_]*``.  Call
+sites passing a non-literal name (a variable, an f-string) are skipped:
+the rule is a spelling check, not a data-flow analysis.
+
+Recognised call shapes are the bare helper ``span(...)`` (the idiom used
+by ``from repro.obs.tracer import span``) and method calls whose receiver
+looks like a tracer (``tracer.span(...)``, ``trace.span(...)``,
+``obs.span(...)``, ``self.tracer.span(...)``, …).  Unrelated ``.span``
+attributes (e.g. a regex match span) do not fit those shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Project, iter_call_name
+
+#: Valid span names: two-plus dotted lowercase segments.
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Receiver names (last link before ``.span``) treated as tracers.
+TRACER_RECEIVERS = frozenset({
+    "obs", "trace", "tracer", "_trace", "_tracer", "_active",
+})
+
+
+def _span_call_name(call: ast.Call) -> bool:
+    """True when *call* is a recognised span-creation site."""
+    chain = iter_call_name(call)
+    if not chain or chain[-1] != "span":
+        return False
+    if len(chain) == 1:                      # bare span("...") helper
+        return True
+    return chain[-2] in TRACER_RECEIVERS     # tracer.span("..."), etc.
+
+
+class ObsSpanNamingRule:
+    """Require ``<module>.<operation>`` dotted lowercase span names."""
+
+    rule_id = "obs-span-naming"
+    description = ("span() names must be dotted lowercase paths "
+                   "(<module>.<operation>, e.g. 'kernel.rescore')")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.repro_modules():
+            if mod.tree is None:
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call) or not _span_call_name(node):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)):
+                    continue          # dynamic name: nothing to spell-check
+                name = first.value
+                if SPAN_NAME_RE.match(name):
+                    continue
+                yield Finding(
+                    rule=self.rule_id, path=mod.rel, line=node.lineno,
+                    message=f"span name {name!r} is not a dotted lowercase "
+                            "path (<module>.<operation>)",
+                    hint="rename it like 'kernel.rescore' / 'alg2.round' so "
+                         "report aggregation and trace grepping stay stable")
+
+
+__all__ = ["ObsSpanNamingRule", "SPAN_NAME_RE", "TRACER_RECEIVERS"]

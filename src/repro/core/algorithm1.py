@@ -33,6 +33,7 @@ from repro.core.hovering import build_hovering_sites
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import span
 from repro.orienteering.problem import OrienteeringInstance
 from repro.orienteering.solver import solve_orienteering
 from repro.radio.link import RadioModel
@@ -83,12 +84,14 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         raise InvalidParameterError(
             f"Algorithm 1 requires delta <= R0 ({r0:.1f} m), got {delta}")
 
-    sites = build_hovering_sites(network, radio, delta)
-    graph = build_auxiliary_graph(sites, energy)
+    with span("alg1.reduction"):
+        sites = build_hovering_sites(network, radio, delta)
+        graph = build_auxiliary_graph(sites, energy)
 
-    neighbors = None
-    if overlap == "conflict" and sites.n_sites > 0:
-        neighbors = _conflict_neighbors_from_overlap(sites.overlap_matrix())
+        neighbors = None
+        if overlap == "conflict" and sites.n_sites > 0:
+            neighbors = _conflict_neighbors_from_overlap(
+                sites.overlap_matrix())
 
     instance = OrienteeringInstance(costs=graph.costs, awards=graph.awards,
                                     budget=energy.capacity, depot=0,

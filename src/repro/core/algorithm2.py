@@ -40,6 +40,7 @@ from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import cross_distances, pairwise_distances
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import span
 from repro.radio.link import RadioModel
 from repro.tsp.christofides import christofides_tour
 from repro.tsp.improve import two_opt
@@ -165,49 +166,56 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         dist_all = pairwise_distances(pts_all)
 
     while iterations < limit:
-        iterations += 1
-        p_res, t_res = kern.residual_scores()                   # Eqs. 11-12
+        # One greedy round: rescore, pick the max-ratio candidate, drain.
+        with span("alg2.round"):
+            iterations += 1
+            p_res, t_res = kern.residual_scores()               # Eqs. 11-12
 
-        eligible = (p_res > 0) & ~kern.in_tour[1:]
-        if not eligible.any():
-            break
+            eligible = (p_res > 0) & ~kern.in_tour[1:]
+            if not eligible.any():
+                break
 
-        if tsp_mode == "insertion":
-            deltas, _positions = kern.insertion_state()
-        else:
-            deltas = np.full(m, np.inf)
-            cur_nodes = np.array(kern.tour, dtype=int)
-            for j in np.flatnonzero(eligible):
-                cand_nodes = np.append(cur_nodes, j + 1)
-                cand_tour = christofides_tour(dist_all, start=0,
-                                              nodes=cand_nodes)
-                deltas[j] = tour_length_matrix(cand_tour, dist_all) - tour_len
+            if tsp_mode == "insertion":
+                deltas, _positions = kern.insertion_state()
+            else:
+                deltas = np.full(m, np.inf)
+                cur_nodes = np.array(kern.tour, dtype=int)
+                for j in np.flatnonzero(eligible):
+                    cand_nodes = np.append(cur_nodes, j + 1)
+                    cand_tour = christofides_tour(dist_all, start=0,
+                                                  nodes=cand_nodes)
+                    deltas[j] = tour_length_matrix(cand_tour,
+                                                   dist_all) - tour_len
 
-        new_hover = hover_total + t_res
-        new_energy = new_hover * eta_h + (tour_len + np.maximum(deltas, 0.0)) * etat_m
-        feasible = eligible & (new_energy <= capacity + 1e-9)
-        if not feasible.any():
-            break
+            new_hover = hover_total + t_res
+            new_energy = (new_hover * eta_h
+                          + (tour_len + np.maximum(deltas, 0.0)) * etat_m)
+            feasible = eligible & (new_energy <= capacity + 1e-9)
+            if not feasible.any():
+                break
 
-        rho = _score(scoring, p_res, t_res, deltas, eta_h, etat_m, feasible)
-        j = int(np.argmax(rho))
+            rho = _score(scoring, p_res, t_res, deltas, eta_h, etat_m,
+                         feasible)
+            j = int(np.argmax(rho))
 
-        node = j + 1
-        if tsp_mode == "insertion":
-            kern.insert(j)
-            tour_len += float(deltas[j])
-        else:
-            cur_nodes = np.append(np.array(kern.tour, dtype=int), node)
-            new_tour = christofides_tour(dist_all, start=0, nodes=cur_nodes)
-            kern.set_tour([int(v) for v in new_tour])
-            tour_len = tour_length_matrix(new_tour, dist_all)
-        sojourn_of[node] = float(t_res[j])
-        hover_total += float(t_res[j])
-        kern.drain_full(j)
+            node = j + 1
+            if tsp_mode == "insertion":
+                kern.insert(j)
+                tour_len += float(deltas[j])
+            else:
+                cur_nodes = np.append(np.array(kern.tour, dtype=int), node)
+                new_tour = christofides_tour(dist_all, start=0,
+                                             nodes=cur_nodes)
+                kern.set_tour([int(v) for v in new_tour])
+                tour_len = tour_length_matrix(new_tour, dist_all)
+            sojourn_of[node] = float(t_res[j])
+            hover_total += float(t_res[j])
+            kern.drain_full(j)
 
     if polish and len(kern.tour) >= 4:
-        tour_len, hover_total = _polish_and_refill(
-            kern, sojourn_of, hover_total, energy)
+        with span("alg2.polish"):
+            tour_len, hover_total = _polish_and_refill(
+                kern, sojourn_of, hover_total, energy)
 
     sojourns = np.array([sojourn_of[v] for v in kern.tour])
     collected = np.where(kern.covered, volumes, 0.0)

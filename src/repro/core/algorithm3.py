@@ -48,6 +48,7 @@ from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import span
 from repro.radio.link import RadioModel
 from repro.tsp.improve import two_opt
 from repro.tsp.length import tour_length_matrix
@@ -109,58 +110,62 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
     def greedy_loop() -> None:
         """Select (site, k) pairs by max ratio until nothing feasible."""
         while state["iters"] < limit:
-            state["iters"] += 1
-            # Residual hover times t', sojourns tau[j, k], and partial
-            # awards (Eq. 4 on residuals) — cached, dirty rows refreshed.
-            t_max, tau, p_partial = kern.partial_scores(fractions)
-            eligible_site = t_max > _VOLUME_TOL / bandwidth
-            if not eligible_site.any():
-                return
+            # One greedy round (one (site, k) selection or termination).
+            with span("alg3.round"):
+                state["iters"] += 1
+                # Residual hover times t', sojourns tau[j, k], and partial
+                # awards (Eq. 4 on residuals) — cached, dirty rows refreshed.
+                t_max, tau, p_partial = kern.partial_scores(fractions)
+                eligible_site = t_max > _VOLUME_TOL / bandwidth
+                if not eligible_site.any():
+                    return
 
-            # Travel delta: zero for on-tour sites (Lemma 2 upgrade).
-            deltas, _positions = kern.insertion_state()
-            deltas = np.maximum(deltas, 0.0)
-            deltas[kern.in_tour[1:]] = 0.0
+                # Travel delta: zero for on-tour sites (Lemma 2 upgrade).
+                deltas, _positions = kern.insertion_state()
+                deltas = np.maximum(deltas, 0.0)
+                deltas[kern.in_tour[1:]] = 0.0
 
-            new_energy = ((state["hover"] + tau) * eta_h
-                          + (state["len"] + deltas)[:, None] * etat_m)
-            feasible = (new_energy <= capacity + 1e-9) \
-                & (p_partial > _VOLUME_TOL) & eligible_site[:, None]
-            if not feasible.any():
-                return
+                new_energy = ((state["hover"] + tau) * eta_h
+                              + (state["len"] + deltas)[:, None] * etat_m)
+                feasible = (new_energy <= capacity + 1e-9) \
+                    & (p_partial > _VOLUME_TOL) & eligible_site[:, None]
+                if not feasible.any():
+                    return
 
-            denom = np.maximum(tau * eta_h + deltas[:, None] * etat_m,
-                               _DENOM_EPS)
-            rho = np.where(feasible, p_partial / denom, -np.inf)
-            j, k = np.unravel_index(int(np.argmax(rho)), rho.shape)
-            j, k = int(j), int(k)
+                denom = np.maximum(tau * eta_h + deltas[:, None] * etat_m,
+                                   _DENOM_EPS)
+                rho = np.where(feasible, p_partial / denom, -np.inf)
+                j, k = np.unravel_index(int(np.argmax(rho)), rho.shape)
+                j, k = int(j), int(k)
 
-            node = j + 1
-            duration = float(tau[j, k])
-            if not kern.in_tour[node]:
-                kern.insert(j)
-                state["len"] += float(deltas[j])
-                sojourn_of[node] = 0.0
-            sojourn_of[node] += duration
-            state["hover"] += duration
+                node = j + 1
+                duration = float(tau[j, k])
+                if not kern.in_tour[node]:
+                    kern.insert(j)
+                    state["len"] += float(deltas[j])
+                    sojourn_of[node] = 0.0
+                sojourn_of[node] += duration
+                state["hover"] += duration
 
-            # Drain residuals (OFDMA: each covered device uploads
-            # min(rem, B * duration) on its own channel).
-            kern.drain_partial(j, duration)
+                # Drain residuals (OFDMA: each covered device uploads
+                # min(rem, B * duration) on its own channel).
+                kern.drain_partial(j, duration)
 
-    greedy_loop()
+    with span("alg3.greedy"):
+        greedy_loop()
 
     if polish and len(kern.tour) >= 4:
-        tour_arr = np.array(kern.tour, dtype=int)
-        # repro: allow[hot-path-purity] -- (|tour|, |tour|) only, not (m, n)
-        local_dist = pairwise_distances(pts_all[tour_arr])
-        improved = two_opt(np.arange(len(tour_arr)), local_dist)
-        start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
-        order = np.roll(improved, -start)
-        kern.set_tour([int(tour_arr[i]) for i in order])
-        state["len"] = tour_length_matrix(
-            np.arange(len(order)), local_dist[np.ix_(order, order)])
-        greedy_loop()
+        with span("alg3.polish"):
+            tour_arr = np.array(kern.tour, dtype=int)
+            # repro: allow[hot-path-purity] -- (|tour|, |tour|), not (m, n)
+            local_dist = pairwise_distances(pts_all[tour_arr])
+            improved = two_opt(np.arange(len(tour_arr)), local_dist)
+            start = int(np.flatnonzero(tour_arr[improved] == 0)[0])
+            order = np.roll(improved, -start)
+            kern.set_tour([int(tour_arr[i]) for i in order])
+            state["len"] = tour_length_matrix(
+                np.arange(len(order)), local_dist[np.ix_(order, order)])
+            greedy_loop()
 
     sojourns = np.array([sojourn_of[v] for v in kern.tour])
     collected = network.volumes - kern.rem

@@ -33,6 +33,7 @@ from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import span
 from repro.radio.link import RadioModel
 from repro.tsp.christofides import christofides_tour
 from repro.tsp.length import tour_length_matrix
@@ -81,43 +82,45 @@ def plan_benchmark(network: SensorNetwork, energy: EnergyModel,
     removals = 0
     rescored = 0
     current = tour_energy(tour)
-    if engine == "kernel":
-        cache = PruneCache(dist, volumes, hover_times, eta_h, etat_m)
-        cache.set_tour(tour)
-        while current > capacity + 1e-9 and len(cache.tour) > 1:
-            best_i = cache.best()
-            if best_i < 0:
-                break  # only zero-saving nodes left; cannot reduce further
-            cache.remove(best_i)
-            removals += 1
-            current = tour_energy(cache.tour)
-        tour = cache.tour
-        rescored = cache.rescored
-    else:
-        while current > capacity + 1e-9 and len(tour) > 1:
-            best_i, best_ratio = -1, np.inf
-            k = len(tour)
-            for i in range(k):
-                v = tour[i]
-                if v == 0:
-                    continue
-                prev_node = tour[i - 1]
-                next_node = tour[(i + 1) % k]
-                saved_travel = (dist[prev_node, v] + dist[v, next_node]
-                                - dist[prev_node, next_node])
-                saved = hover_times[v - 1] * eta_h + saved_travel * etat_m
-                rescored += 1
-                # Data lost per joule saved; prefer removing cheap data that
-                # frees much energy.  Guard: zero saving still has a defined
-                # (infinite) ratio and is never preferred over a real saving.
-                ratio = volumes[v - 1] / saved if saved > 1e-12 else np.inf
-                if ratio < best_ratio:
-                    best_ratio, best_i = ratio, i
-            if best_i < 0:
-                break  # only zero-saving nodes left; cannot reduce further
-            tour.pop(best_i)
-            removals += 1
-            current = tour_energy(tour)
+    with span("benchmark.prune"):
+        if engine == "kernel":
+            cache = PruneCache(dist, volumes, hover_times, eta_h, etat_m)
+            cache.set_tour(tour)
+            while current > capacity + 1e-9 and len(cache.tour) > 1:
+                best_i = cache.best()
+                if best_i < 0:
+                    break  # only zero-saving nodes left; cannot reduce more
+                cache.remove(best_i)
+                removals += 1
+                current = tour_energy(cache.tour)
+            tour = cache.tour
+            rescored = cache.rescored
+        else:
+            while current > capacity + 1e-9 and len(tour) > 1:
+                best_i, best_ratio = -1, np.inf
+                k = len(tour)
+                for i in range(k):
+                    v = tour[i]
+                    if v == 0:
+                        continue
+                    prev_node = tour[i - 1]
+                    next_node = tour[(i + 1) % k]
+                    saved_travel = (dist[prev_node, v] + dist[v, next_node]
+                                    - dist[prev_node, next_node])
+                    saved = hover_times[v - 1] * eta_h + saved_travel * etat_m
+                    rescored += 1
+                    # Data lost per joule saved; prefer removing cheap data
+                    # that frees much energy.  Guard: zero saving still has a
+                    # defined (infinite) ratio and is never preferred over a
+                    # real saving.
+                    ratio = volumes[v - 1] / saved if saved > 1e-12 else np.inf
+                    if ratio < best_ratio:
+                        best_ratio, best_i = ratio, i
+                if best_i < 0:
+                    break  # only zero-saving nodes left; cannot reduce more
+                tour.pop(best_i)
+                removals += 1
+                current = tour_energy(tour)
 
     order = np.array(tour, dtype=int)
     sojourns = np.array([0.0 if v == 0 else hover_times[v - 1] for v in tour])

@@ -39,9 +39,12 @@ path available behind the same interface for equivalence tests and the
 ``benchmarks/bench_kernel.py`` comparison.
 
 The kernel also keeps lightweight perf counters (selections, sites
-rescored, deltas recomputed, wall-clock per phase); planners surface them
+rescored, deltas recomputed, wall-clock per phase) in a
+:class:`repro.obs.metrics.MetricsRegistry`; planners surface the snapshot
 as ``CollectionTour.meta["perf"]`` so figure runners and benches report
-the work actually done.
+the work actually done.  The rescore/partial/insertion phases also emit
+``kernel.*`` spans on the active :mod:`repro.obs` tracer — free when
+tracing is disabled, a flame chart when it is not.
 """
 
 from __future__ import annotations
@@ -51,7 +54,6 @@ from __future__ import annotations
 # (m, n) temporaries may be allocated here.  The legacy dense-engine
 # methods opt out individually with '# repro: cold-path'.)
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -59,6 +61,8 @@ import numpy as np
 from repro.core.hovering import HoveringSites
 from repro.geometry.coverage import SparseCoverage
 from repro.geometry.distance import cross_distances
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import span
 from repro.utils.errors import InvalidParameterError
 
 #: Engines accepted by the planners' ``engine=`` parameter.
@@ -149,13 +153,14 @@ class PlannerKernel:
         self._ins_edges = np.zeros(self.m, dtype=np.int64)
         self._ins_stale = True
 
-        self.counters: Dict[str, int] = {
-            "insertions": 0, "drains": 0, "tour_flushes": 0,
-            "sites_rescored": 0, "deltas_recomputed": 0,
-        }
-        self.timers: Dict[str, float] = {
-            "rescore": 0.0, "insertion": 0.0, "partial": 0.0,
-        }
+        # Work counters + per-phase timers, pre-registered so the
+        # ``meta["perf"]`` snapshot always carries the full key set.
+        self.metrics = MetricsRegistry()
+        for name in ("insertions", "drains", "tour_flushes",
+                     "sites_rescored", "deltas_recomputed"):
+            self.metrics.counter(name)
+        for name in ("rescore", "insertion", "partial"):
+            self.metrics.timer(name)
 
     # ------------------------------------------------------------------ #
     # Residual awards P' and hover times t'  (Eqs. 11-12)
@@ -168,14 +173,13 @@ class PlannerKernel:
         refreshed only for candidates overlapping sensors drained since the
         last call.
         """
-        t0 = time.perf_counter()
-        if self._sparse:
-            self._flush_residuals()
-        else:
-            self._p_res = self.sites.residual_awards(self.rem)
-            self._t_res = self.sites.residual_hover_times(self.rem)
-            self.counters["sites_rescored"] += self.m
-        self.timers["rescore"] += time.perf_counter() - t0
+        with self.metrics.time("rescore"), span("kernel.rescore"):
+            if self._sparse:
+                self._flush_residuals()
+            else:
+                self._p_res = self.sites.residual_awards(self.rem)
+                self._t_res = self.sites.residual_hover_times(self.rem)
+                self.metrics.counter("sites_rescored").inc(self.m)
         return self._p_res, self._t_res
 
     def _flush_residuals(self) -> None:
@@ -193,7 +197,7 @@ class PlannerKernel:
         self._t_res[dirty] = _segment_reduce(vals, starts, lengths,
                                              np.maximum) / self.bandwidth
         self._partial_dirty[dirty] = True
-        self.counters["sites_rescored"] += len(dirty)
+        self.metrics.counter("sites_rescored").inc(len(dirty))
 
     def partial_scores(self, fractions: np.ndarray
                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -214,16 +218,13 @@ class PlannerKernel:
             # repro: allow[hot-path-purity] -- (m, K) cache, not (m, n)
             self._p_partial = np.zeros((self.m, len(fractions)))
         if self._sparse:
-            t0 = time.perf_counter()
-            self._flush_residuals()
-            self.timers["rescore"] += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            self._flush_partial()
-            self.timers["partial"] += time.perf_counter() - t0
+            with self.metrics.time("rescore"), span("kernel.rescore"):
+                self._flush_residuals()
+            with self.metrics.time("partial"), span("kernel.partial"):
+                self._flush_partial()
         else:
-            t0 = time.perf_counter()
-            self._dense_partial()
-            self.timers["partial"] += time.perf_counter() - t0
+            with self.metrics.time("partial"), span("kernel.partial"):
+                self._dense_partial()
         assert self._tau is not None and self._p_partial is not None
         return self._t_res, self._tau, self._p_partial
 
@@ -244,7 +245,7 @@ class PlannerKernel:
                 R, (self.bandwidth * tau[:, k])[:, None]).sum(axis=1)
         self._tau = tau
         self._p_partial = p_partial
-        self.counters["sites_rescored"] += self.m
+        self.metrics.counter("sites_rescored").inc(self.m)
 
     def _flush_partial(self) -> None:
         """Recompute the partial-award rows of dirty sites only."""
@@ -274,7 +275,7 @@ class PlannerKernel:
         self.rem[idx] = 0.0
         self.covered[idx] = True
         self._dirty_sensors[changed] = True
-        self.counters["drains"] += 1
+        self.metrics.counter("drains").inc()
 
     def drain_partial(self, site: int, duration: float) -> None:
         """OFDMA drain at *site* for *duration* seconds (PDCM).
@@ -295,7 +296,7 @@ class PlannerKernel:
             changed |= tiny
         self.covered[idx] = True
         self._dirty_sensors |= changed
-        self.counters["drains"] += 1
+        self.metrics.counter("drains").inc()
 
     def _sensors_of(self, site: int) -> np.ndarray:
         if self.csr is not None:
@@ -313,10 +314,9 @@ class PlannerKernel:
         mask.  Dense engine recomputes the full scan per call; kernel
         engine serves the incrementally-maintained cache.
         """
-        t0 = time.perf_counter()
-        if self._ins_stale or not self._sparse:
-            self._flush_insertion()
-        self.timers["insertion"] += time.perf_counter() - t0
+        with self.metrics.time("insertion"), span("kernel.insertion"):
+            if self._ins_stale or not self._sparse:
+                self._flush_insertion()
         return self._ins_deltas.copy(), (self._ins_edges + 1).astype(int)
 
     def _flush_insertion(self) -> None:
@@ -336,7 +336,7 @@ class PlannerKernel:
             self._ins_deltas = cand[np.arange(self.m), best]
             self._ins_edges = best.astype(np.int64)
         self._ins_stale = False
-        self.counters["deltas_recomputed"] += self.m
+        self.metrics.counter("deltas_recomputed").inc(self.m)
 
     def insert(self, site: int) -> int:
         """Insert candidate *site* at its cached best position.
@@ -355,7 +355,7 @@ class PlannerKernel:
         k_old = len(self.tour)
         e = int(self._ins_edges[site])
         pos = e + 1
-        self.counters["insertions"] += 1
+        self.metrics.counter("insertions").inc()
         if k_old == 1:
             self.tour.insert(1, node)
             self.in_tour[node] = True
@@ -369,36 +369,35 @@ class PlannerKernel:
             self._ins_stale = True
             return pos
 
-        t0 = time.perf_counter()
-        deltas, edges = self._ins_deltas, self._ins_edges
-        dead = edges == e
-        edges[edges > e] += 1
-        # O(1) per candidate: compare against the two edges just created.
-        pa, pn, pb = (self.points_all[a], self.points_all[node],
-                      self.points_all[b])
-        d3 = cross_distances(self.sites.points, np.array([pa, pn, pb]))
-        lens = np.linalg.norm(np.array([pn - pa, pb - pn]), axis=1)
-        for new_edge, cand in ((e, d3[:, 0] + d3[:, 1] - lens[0]),
-                               (e + 1, d3[:, 1] + d3[:, 2] - lens[1])):
-            better = (cand < deltas) | ((cand == deltas)
-                                        & (new_edge < edges))
-            deltas[better] = cand[better]
-            edges[better] = new_edge
-        # Full rescan only where the recorded best edge was destroyed.
-        dead_idx = np.flatnonzero(dead)
-        if len(dead_idx):
-            tour_pts = self.points_all[self.tour]
-            k = len(self.tour)
-            d_site_tour = cross_distances(self.sites.points[dead_idx],
-                                          tour_pts)
-            nxt = np.roll(np.arange(k), -1)
-            edge_len = np.linalg.norm(tour_pts[nxt] - tour_pts, axis=1)
-            cand = d_site_tour + d_site_tour[:, nxt] - edge_len[None, :]
-            best = np.argmin(cand, axis=1)
-            deltas[dead_idx] = cand[np.arange(len(dead_idx)), best]
-            edges[dead_idx] = best
-            self.counters["deltas_recomputed"] += len(dead_idx)
-        self.timers["insertion"] += time.perf_counter() - t0
+        with self.metrics.time("insertion"), span("kernel.insertion"):
+            deltas, edges = self._ins_deltas, self._ins_edges
+            dead = edges == e
+            edges[edges > e] += 1
+            # O(1) per candidate: compare against the two edges just created.
+            pa, pn, pb = (self.points_all[a], self.points_all[node],
+                          self.points_all[b])
+            d3 = cross_distances(self.sites.points, np.array([pa, pn, pb]))
+            lens = np.linalg.norm(np.array([pn - pa, pb - pn]), axis=1)
+            for new_edge, cand in ((e, d3[:, 0] + d3[:, 1] - lens[0]),
+                                   (e + 1, d3[:, 1] + d3[:, 2] - lens[1])):
+                better = (cand < deltas) | ((cand == deltas)
+                                            & (new_edge < edges))
+                deltas[better] = cand[better]
+                edges[better] = new_edge
+            # Full rescan only where the recorded best edge was destroyed.
+            dead_idx = np.flatnonzero(dead)
+            if len(dead_idx):
+                tour_pts = self.points_all[self.tour]
+                k = len(self.tour)
+                d_site_tour = cross_distances(self.sites.points[dead_idx],
+                                              tour_pts)
+                nxt = np.roll(np.arange(k), -1)
+                edge_len = np.linalg.norm(tour_pts[nxt] - tour_pts, axis=1)
+                cand = d_site_tour + d_site_tour[:, nxt] - edge_len[None, :]
+                best = np.argmin(cand, axis=1)
+                deltas[dead_idx] = cand[np.arange(len(dead_idx)), best]
+                edges[dead_idx] = best
+                self.metrics.counter("deltas_recomputed").inc(len(dead_idx))
         return pos
 
     def set_tour(self, order) -> None:
@@ -414,11 +413,21 @@ class PlannerKernel:
         self.in_tour[:] = False
         self.in_tour[np.array(self.tour, dtype=int)] = True
         self._ins_stale = True
-        self.counters["tour_flushes"] += 1
+        self.metrics.counter("tour_flushes").inc()
 
     # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Integer work-counter snapshot (compat view of :attr:`metrics`)."""
+        return {k: int(v) for k, v in self.metrics.counter_values().items()}
+
+    @property
+    def timers(self) -> Dict[str, float]:
+        """Per-phase wall-clock snapshot (compat view of :attr:`metrics`)."""
+        return self.metrics.timer_seconds()
+
     def perf(self) -> Dict[str, object]:
         """Perf-counter snapshot for ``CollectionTour.meta["perf"]``."""
         snap: Dict[str, object] = {"engine": self.engine}

@@ -8,7 +8,7 @@ experiment configs.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core.algorithm1 import plan_algorithm1
 from repro.core.algorithm2 import plan_algorithm2
@@ -17,6 +17,7 @@ from repro.core.benchmark_alg import plan_benchmark
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import TracerLike, activated, span
 from repro.radio.link import RadioModel
 from repro.utils.errors import InvalidParameterError
 
@@ -31,6 +32,7 @@ PLANNERS: Dict[str, str] = {
 
 def plan_tour(network: SensorNetwork, energy: EnergyModel, radio: RadioModel,
               *, method: str = "algorithm2", delta: float = 10.0,
+              trace: Optional[TracerLike] = None,
               **kwargs: Any) -> CollectionTour:
     """Plan a data-collection tour with the chosen *method*.
 
@@ -43,6 +45,13 @@ def plan_tour(network: SensorNetwork, energy: EnergyModel, radio: RadioModel,
     delta:
         Grid edge length (ignored by ``"benchmark"``, which hovers directly
         above sensors).
+    trace:
+        Optional :class:`repro.obs.Tracer` activated for the duration of
+        the call; the plan runs under one ``planner.plan_tour`` root span
+        with every instrumented layer (kernel, orienteering, TSP) nested
+        below it.  ``None`` (default) keeps the ambient tracer — a no-op
+        unless tracing was enabled via ``REPRO_TRACE`` or
+        :func:`repro.obs.set_tracer`.  Tracing never changes the tour.
     **kwargs:
         Planner-specific options — e.g. ``K=4`` for ``algorithm3``,
         ``overlap="ignore"`` for ``algorithm1``, ``tsp_mode="christofides"``
@@ -52,19 +61,22 @@ def plan_tour(network: SensorNetwork, energy: EnergyModel, radio: RadioModel,
     -------
     CollectionTour
     """
-    if method == "algorithm1":
-        return plan_algorithm1(network, energy, radio, delta, **kwargs)
-    if method == "algorithm2":
-        return plan_algorithm2(network, energy, radio, delta, **kwargs)
-    if method == "algorithm3":
-        kwargs.setdefault("K", 2)
-        return plan_algorithm3(network, energy, radio, delta, **kwargs)
-    if method == "benchmark":
-        engine = kwargs.pop("engine", "kernel")
-        if kwargs:
-            raise InvalidParameterError(
-                f"benchmark planner takes no extra options, got {sorted(kwargs)}")
-        return plan_benchmark(network, energy, radio, engine=engine)
+    with activated(trace), span("planner.plan_tour", method=method,
+                                n_nodes=network.n_nodes):
+        if method == "algorithm1":
+            return plan_algorithm1(network, energy, radio, delta, **kwargs)
+        if method == "algorithm2":
+            return plan_algorithm2(network, energy, radio, delta, **kwargs)
+        if method == "algorithm3":
+            kwargs.setdefault("K", 2)
+            return plan_algorithm3(network, energy, radio, delta, **kwargs)
+        if method == "benchmark":
+            engine = kwargs.pop("engine", "kernel")
+            if kwargs:
+                raise InvalidParameterError(
+                    f"benchmark planner takes no extra options, "
+                    f"got {sorted(kwargs)}")
+            return plan_benchmark(network, energy, radio, engine=engine)
     raise InvalidParameterError(
         f"unknown method {method!r}; expected one of {sorted(PLANNERS)}")
 

@@ -35,6 +35,7 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.runner import SweepResult
 from repro.experiments.tables import rows_to_csv, rows_to_markdown
+from repro.obs.tracer import activated
 
 RUNNERS: Dict[str, Callable[..., SweepResult]] = {
     "fig3": run_fig3,
@@ -77,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="directory for CSV output (default: print only)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record a structured span trace of the runs "
+                             "and write it as JSONL to this path (inspect "
+                             "with 'python -m repro.obs report')")
     return parser
 
 
@@ -104,11 +109,16 @@ def main(argv=None) -> int:
         return 0
     progress = None if args.quiet else (lambda line: print("  " + line,
                                                            file=sys.stderr))
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.tracer import Tracer
+        tracer = Tracer()
     figures = list(RUNNERS) if args.figure == "all" else [args.figure]
     for fig in figures:
         print(f"== {fig} ({config.label} scale, |V|={config.n_nodes}, "
               f"{config.n_instances} instances) ==", file=sys.stderr)
-        result = RUNNERS[fig](config, progress=progress)
+        with activated(tracer):
+            result = RUNNERS[fig](config, progress=progress)
         print(rows_to_markdown(result, title=f"{fig} — {config.label} scale"))
         if args.ascii:
             print(render_sweep(result, panel="volume"))
@@ -132,6 +142,11 @@ def main(argv=None) -> int:
             path = args.out / f"{fig}_{config.label}.csv"
             path.write_text(rows_to_csv(result))
             print(f"wrote {path}", file=sys.stderr)
+    if tracer is not None:
+        from repro.obs.export import write_jsonl
+        write_jsonl(tracer.records(), args.trace)
+        print(f"wrote {args.trace} ({len(tracer.records())} spans)",
+              file=sys.stderr)
     return 0
 
 

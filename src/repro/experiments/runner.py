@@ -18,6 +18,7 @@ from repro.core.planner import plan_tour
 from repro.energy.model import EnergyModel
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.tracer import TracerLike, activated, span
 from repro.sim.validate import cross_validate
 from repro.utils.timing import Timer
 
@@ -87,6 +88,26 @@ class SweepResult:
         return seen
 
 
+def _flatten_perf(perf: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Flatten a (possibly nested) ``meta["perf"]`` dict into dotted keys.
+
+    ``{"sites_rescored": 3, "seconds": {"rescore": 0.1}}`` becomes
+    ``{"sites_rescored": 3.0, "seconds.rescore": 0.1}``.  Non-numeric
+    leaves (e.g. the ``"engine"`` string) are skipped — the caller keeps
+    those out of the per-instance averages.
+    """
+    flat: Dict[str, float] = {}
+    for key, val in perf.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(val, dict):
+            flat.update(_flatten_perf(val, prefix=f"{dotted}."))
+        elif isinstance(val, bool):
+            continue
+        elif isinstance(val, (int, float)):
+            flat[dotted] = float(val)
+    return flat
+
+
 def run_sweep(config: ExperimentConfig,
               instances: Sequence[SensorNetwork],
               algorithms: Sequence[AlgoSpec],
@@ -96,7 +117,8 @@ def run_sweep(config: ExperimentConfig,
               make_energy: Callable[[ExperimentConfig, float], EnergyModel],
               make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
               validate: bool = True,
-              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+              progress: Optional[Callable[[str], None]] = None,
+              trace: Optional[TracerLike] = None) -> SweepResult:
     """Run a full sweep and aggregate per-cell statistics.
 
     Parameters
@@ -119,49 +141,75 @@ def run_sweep(config: ExperimentConfig,
         relative to planning; catches planner regressions during sweeps).
     progress:
         Optional callback receiving one status line per cell.
+    trace:
+        Optional :class:`repro.obs.Tracer` activated for the whole sweep;
+        every cell gets a ``runner.cell`` span wrapping its instance loop,
+        with the planner's own spans nested underneath.
     """
     radio = config.radio_model()
     rows: List[SweepRow] = []
-    for value in param_values:
-        energy = make_energy(config, value)
-        for spec in algorithms:
-            volumes, times = [], []
-            perf_acc: Dict[str, List[float]] = {}
-            perf_engine = None
-            kwargs = make_kwargs(config, value, spec)
-            for net in instances:
-                with Timer() as t:
-                    tour = plan_tour(net, energy, radio,
-                                     method=spec.method, **kwargs)
-                if validate:
-                    cross_validate(tour, radio)
-                volumes.append(tour.collected_volume / MB_PER_GB)
-                times.append(t.elapsed)
-                perf = tour.meta.get("perf")
-                if perf:
-                    perf_engine = perf.get("engine", perf_engine)
-                    for key, val in perf.items():
-                        if isinstance(val, (int, float)):
-                            perf_acc.setdefault(key, []).append(float(val))
-            perf_mean: Optional[Dict[str, Any]] = None
-            if perf_acc:
-                perf_mean = {k: float(np.mean(v)) for k, v in perf_acc.items()}
-                perf_mean["engine"] = perf_engine
-            row = SweepRow(
-                param_name=param_name,
-                param_value=float(value),
-                algorithm=spec.name,
-                mean_volume_gb=float(np.mean(volumes)),
-                std_volume_gb=float(np.std(volumes)),
-                mean_time_s=float(np.mean(times)),
-                std_time_s=float(np.std(times)),
-                n_instances=len(instances),
-                perf=perf_mean)
-            rows.append(row)
-            if progress is not None:
-                progress(f"{param_name}={value:g} {spec.name}: "
-                         f"{row.mean_volume_gb:.2f} GB, {row.mean_time_s:.2f} s")
+    with activated(trace):
+        for value in param_values:
+            energy = make_energy(config, value)
+            for spec in algorithms:
+                with span("runner.cell", param=param_name,
+                          value=float(value), algorithm=spec.name):
+                    row = _run_cell(config, instances, spec, param_name,
+                                    value, energy, radio,
+                                    make_kwargs=make_kwargs,
+                                    validate=validate)
+                rows.append(row)
+                if progress is not None:
+                    progress(
+                        f"{param_name}={value:g} {spec.name}: "
+                        f"{row.mean_volume_gb:.2f} GB, "
+                        f"{row.mean_time_s:.2f} s")
     return SweepResult(config=config, rows=rows)
 
 
-__all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB"]
+def _run_cell(config: ExperimentConfig,
+              instances: Sequence[SensorNetwork],
+              spec: AlgoSpec,
+              param_name: str,
+              value: float,
+              energy: EnergyModel,
+              radio: Any,
+              *,
+              make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
+              validate: bool) -> SweepRow:
+    """Plan every instance of one (algorithm, parameter value) cell."""
+    volumes, times = [], []
+    perf_acc: Dict[str, List[float]] = {}
+    perf_engine = None
+    kwargs = make_kwargs(config, value, spec)
+    for net in instances:
+        with Timer() as t:
+            tour = plan_tour(net, energy, radio,
+                             method=spec.method, **kwargs)
+        if validate:
+            cross_validate(tour, radio)
+        volumes.append(tour.collected_volume / MB_PER_GB)
+        times.append(t.elapsed)
+        perf = tour.meta.get("perf")
+        if perf:
+            perf_engine = perf.get("engine", perf_engine)
+            for key, val in _flatten_perf(perf).items():
+                perf_acc.setdefault(key, []).append(val)
+    perf_mean: Optional[Dict[str, Any]] = None
+    if perf_acc:
+        perf_mean = {k: float(np.mean(v)) for k, v in perf_acc.items()}
+        perf_mean["engine"] = perf_engine
+    return SweepRow(
+        param_name=param_name,
+        param_value=float(value),
+        algorithm=spec.name,
+        mean_volume_gb=float(np.mean(volumes)),
+        std_volume_gb=float(np.std(volumes)),
+        mean_time_s=float(np.mean(times)),
+        std_time_s=float(np.std(times)),
+        n_instances=len(instances),
+        perf=perf_mean)
+
+
+__all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
+           "_flatten_perf"]

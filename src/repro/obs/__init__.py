@@ -1,0 +1,51 @@
+"""repro.obs — structured tracing, metrics, and profiling export.
+
+The observability layer behind the paper's running-time evaluation
+(Figs. 3(b)/4(b)/5(b)): nestable wall-clock spans with near-zero disabled
+overhead (:mod:`repro.obs.tracer`), a counters/gauges/histograms registry
+that backs the planner kernel's ``meta["perf"]`` contract
+(:mod:`repro.obs.metrics`), JSONL + Chrome ``trace_event`` export
+(:mod:`repro.obs.export`), and the per-span-name summary table behind
+``python -m repro.obs report`` (:mod:`repro.obs.report`).
+
+Tracing is off by default; enable it with ``plan_tour(..., trace=...)``,
+:func:`set_tracer`, or ``REPRO_TRACE=1``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.tracer import (
+    Tracer,
+    NullTracer,
+    Span,
+    NULL_TRACER,
+    NULL_SPAN,
+    get_tracer,
+    set_tracer,
+    span,
+    activated,
+    install_from_env,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import (
+    write_jsonl,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.report import SpanStats, summarize, render_table
+
+#: Honour REPRO_TRACE / REPRO_TRACE_FILE the moment the package loads, so
+#: any entry point (CLI, pytest, a one-off script) can be traced without
+#: code changes.
+install_from_env()
+
+__all__ = [
+    # tracer
+    "Tracer", "NullTracer", "Span", "NULL_TRACER", "NULL_SPAN",
+    "get_tracer", "set_tracer", "span", "activated", "install_from_env",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    # export
+    "write_jsonl", "read_jsonl", "to_chrome_trace", "write_chrome_trace",
+    # report
+    "SpanStats", "summarize", "render_table",
+]

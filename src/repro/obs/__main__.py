@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — trace report / demo CLI."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

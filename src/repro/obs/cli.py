@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro.obs report <trace.jsonl>``.
+
+Subcommands
+-----------
+``report``
+    Summarise a JSONL trace into the per-span-name table (count, total,
+    mean, p95, self time); ``--chrome-trace out.json`` additionally
+    converts the spans for about://tracing / Perfetto, and
+    ``--format json`` emits the statistics machine-readably.
+``demo``
+    Run one traced ``plan_tour`` (plus an independent simulator flight)
+    on a small seeded instance and write the trace — the one-command way
+    to produce an inspectable profile, used by the CI trace-artifact job.
+
+Exit codes: 0 — success; 2 — usage error (missing/unreadable trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.export import read_jsonl, write_chrome_trace, write_jsonl
+from repro.obs.report import render_table, summarize
+from repro.obs.tracer import Tracer, activated
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace tooling: summarise and convert planner traces.")
+    sub = parser.add_subparsers(dest="command")
+
+    report = sub.add_parser(
+        "report", help="summarise a JSONL trace into a per-span table")
+    report.add_argument("trace", help="JSONL trace file (one span per line)")
+    report.add_argument("--chrome-trace", metavar="OUT.json", default=None,
+                        help="also write a Chrome trace_event conversion "
+                             "for about://tracing / Perfetto")
+    report.add_argument("--format", choices=("table", "json"),
+                        default="table", help="report format")
+    report.add_argument("--top", type=int, default=0,
+                        help="only the N largest span names by total time")
+
+    demo = sub.add_parser(
+        "demo", help="run one traced plan_tour and write the trace")
+    demo.add_argument("--out", default="trace.jsonl",
+                      help="JSONL trace destination (default: trace.jsonl)")
+    demo.add_argument("--chrome-trace", metavar="OUT.json", default=None,
+                      help="also write the Chrome trace_event conversion")
+    demo.add_argument("--nodes", type=int, default=60,
+                      help="sensor count of the demo instance (default: 60)")
+    demo.add_argument("--method", default="algorithm2",
+                      help="planner method to trace (default: algorithm2)")
+    demo.add_argument("--delta", type=float, default=40.0,
+                      help="hovering-grid edge length in metres")
+    demo.add_argument("--seed", type=int, default=7,
+                      help="instance seed (default: 7)")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"error: trace file {args.trace!r} not found", file=sys.stderr)
+        return 2
+    records = read_jsonl(path)
+    stats = summarize(records)
+    if args.format == "json":
+        print(json.dumps({"version": 1, "spans": len(records),
+                          "stats": [s.as_dict() for s in stats]}, indent=2))
+    else:
+        print(f"{len(records)} span(s) in {path}")
+        print(render_table(stats, top=args.top))
+    if args.chrome_trace:
+        n = write_chrome_trace(records, args.chrome_trace)
+        print(f"wrote {n} trace event(s) to {args.chrome_trace}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Planner/simulator imports stay local: the obs layer has no upward
+    # dependency except inside this convenience command.
+    from repro.core.planner import plan_tour
+    from repro.energy.model import EnergyModel
+    from repro.geometry.region import Region
+    from repro.network.generator import NetworkGenerator
+    from repro.radio.link import RadioModel
+    from repro.sim.simulator import simulate_mission
+
+    generator = NetworkGenerator(Region.square(400.0),
+                                 volume_range=(50.0, 500.0))
+    net = generator.uniform(args.nodes, seed=args.seed)
+    energy = EnergyModel(capacity=6e4, hover_power=150.0,
+                         travel_power=100.0, speed=10.0)
+    radio = RadioModel(bandwidth=150.0, transmission_range=50.0, altitude=0.0)
+
+    tracer = Tracer()
+    tour = plan_tour(net, energy, radio, method=args.method,
+                     delta=args.delta, trace=tracer)
+    with activated(tracer):
+        simulate_mission(tour, radio)
+
+    records = tracer.records()
+    write_jsonl(records, args.out)
+    if args.chrome_trace:
+        write_chrome_trace(records, args.chrome_trace)
+    print(f"planned {tour.collected_volume:.1f} MB with {args.method}; "
+          f"wrote {len(records)} span(s) to {args.out}"
+          + (f" and {args.chrome_trace}" if args.chrome_trace else ""),
+          file=sys.stderr)
+    print(render_table(summarize(records), top=15))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    parser.print_help()
+    return 2
+
+
+__all__ = ["main"]

@@ -1,0 +1,104 @@
+"""Trace export: JSONL span records and Chrome ``trace_event`` JSON.
+
+Two interchange formats for :class:`repro.obs.tracer.Tracer` records:
+
+* **JSONL** — one span record per line, exactly the tracer's dict schema
+  (``name``/``ts_s``/``dur_s``/``id``/``parent``/``depth``/``attrs``).
+  The native format of ``python -m repro.obs report`` and the round-trip
+  format for archiving runs.
+* **Chrome trace** — the ``trace_event`` JSON object format understood by
+  about://tracing and https://ui.perfetto.dev: every span becomes one
+  complete ("X"-phase) event with microsecond ``ts``/``dur`` and the span
+  attributes under ``args``, so a planner run opens as a flame chart with
+  zero extra tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Union
+
+#: Synthetic process/thread ids (the planners are single-threaded).
+TRACE_PID = 1
+TRACE_TID = 1
+
+#: Category stamped on every exported Chrome trace event.
+TRACE_CATEGORY = "repro"
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(records: Iterable[Dict[str, Any]],
+                dest: Union[PathLike, IO[str]]) -> int:
+    """Write span *records* as JSONL; returns the number written."""
+    if hasattr(dest, "write"):
+        return _write_jsonl_stream(records, dest)  # type: ignore[arg-type]
+    with open(dest, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+        return _write_jsonl_stream(records, fh)
+
+
+def _write_jsonl_stream(records: Iterable[Dict[str, Any]],
+                        fh: IO[str]) -> int:
+    n = 0
+    for rec in records:
+        fh.write(json.dumps(rec, sort_keys=True, default=str))
+        fh.write("\n")
+        n += 1
+    return n
+
+
+def read_jsonl(source: Union[PathLike, IO[str]]) -> List[Dict[str, Any]]:
+    """Read span records back from a JSONL file or stream."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = Path(source).read_text(  # type: ignore[arg-type]
+            encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records to a Chrome ``trace_event`` JSON object.
+
+    Every record becomes a complete event: ``ph="X"``, ``ts``/``dur`` in
+    microseconds, fixed ``pid``/``tid`` (single-threaded planners), the
+    span attributes plus the span/parent ids under ``args``.  The
+    returned dict serialises directly with ``json.dump``.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": TRACE_PID,
+        "args": {"name": "repro planner"},
+    }]
+    for rec in records:
+        args = dict(rec.get("attrs") or {})
+        args["span_id"] = rec.get("id")
+        if rec.get("parent") is not None:
+            args["parent_id"] = rec["parent"]
+        events.append({
+            "name": rec["name"],
+            "cat": TRACE_CATEGORY,
+            "ph": "X",
+            "ts": round(float(rec["ts_s"]) * 1e6, 3),
+            "dur": round(float(rec["dur_s"]) * 1e6, 3),
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Dict[str, Any]],
+                       dest: PathLike) -> int:
+    """Write the Chrome-trace conversion of *records* to *dest*.
+
+    Returns the number of trace events written (spans + metadata).
+    """
+    payload = to_chrome_trace(records)
+    Path(dest).write_text(json.dumps(payload, indent=1, default=str) + "\n",
+                          encoding="utf-8")
+    return len(payload["traceEvents"])
+
+
+__all__ = ["write_jsonl", "read_jsonl", "to_chrome_trace",
+           "write_chrome_trace", "TRACE_PID", "TRACE_TID", "TRACE_CATEGORY"]

@@ -1,0 +1,106 @@
+"""Trace summarisation: per-span-name statistics and the report table.
+
+Turns a flat list of span records into the table ``python -m repro.obs
+report`` prints: for every span name the call count, total / mean / p95
+wall-clock, and **self time** — total minus the time spent in direct
+child spans, i.e. the time genuinely attributable to that layer rather
+than the layers below it.  Self time is what makes the table actionable:
+``planner.plan_tour`` dominating *total* while ``kernel.insertion``
+dominates *self* points the optimisation effort at the kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregated wall-clock statistics for one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    p95_s: float
+    self_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict for JSON output."""
+        return {"name": self.name, "count": self.count,
+                "total_s": self.total_s, "mean_s": self.mean_s,
+                "p95_s": self.p95_s, "self_s": self.self_s}
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(math.ceil(q * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def summarize(records: Sequence[Dict[str, Any]]) -> List[SpanStats]:
+    """Per-name statistics over *records*, largest total first.
+
+    Self time subtracts each span's *direct* children only; a dropped
+    parent (ring-buffer truncation) simply leaves its children attributed
+    to nobody, never double-counted.
+    """
+    child_time: Dict[int, float] = {}
+    for rec in records:
+        parent = rec.get("parent")
+        if parent is not None:
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + float(rec["dur_s"]))
+
+    durations: Dict[str, List[float]] = {}
+    self_times: Dict[str, float] = {}
+    for rec in records:
+        name = str(rec["name"])
+        dur = float(rec["dur_s"])
+        durations.setdefault(name, []).append(dur)
+        own = dur - child_time.get(rec.get("id", -1), 0.0)
+        self_times[name] = self_times.get(name, 0.0) + max(own, 0.0)
+
+    stats = []
+    for name, durs in durations.items():
+        durs.sort()
+        total = sum(durs)
+        stats.append(SpanStats(
+            name=name, count=len(durs), total_s=total,
+            mean_s=total / len(durs), p95_s=_percentile(durs, 0.95),
+            self_s=self_times[name]))
+    stats.sort(key=lambda s: (-s.total_s, s.name))
+    return stats
+
+
+def _fmt_seconds(value: float) -> str:
+    """Fixed-width (11 char) human-readable seconds."""
+    if value >= 1.0:
+        return f"{value:10.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:9.3f}ms"
+    return f"{value * 1e6:9.1f}us"
+
+
+def render_table(stats: Sequence[SpanStats], *, top: int = 0) -> str:
+    """The report table, one row per span name (``top`` 0 = all rows)."""
+    rows = stats[:top] if top else list(stats)
+    name_w = max([len(s.name) for s in rows] + [len("span")])
+    header = (f"{'span':<{name_w}}  {'count':>8}  {'total':>11}  "
+              f"{'mean':>11}  {'p95':>11}  {'self':>11}")
+    lines = [header, "-" * len(header)]
+    for s in rows:
+        lines.append(
+            f"{s.name:<{name_w}}  {s.count:>8d}  {_fmt_seconds(s.total_s)}  "
+            f"{_fmt_seconds(s.mean_s)}  {_fmt_seconds(s.p95_s)}  "
+            f"{_fmt_seconds(s.self_s)}")
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+__all__ = ["SpanStats", "summarize", "render_table"]

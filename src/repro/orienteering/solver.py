@@ -7,6 +7,7 @@ tests get exact answers for free while the planners scale.
 
 from __future__ import annotations
 
+from repro.obs.tracer import span
 from repro.orienteering.exact import MAX_EXACT_NODES, solve_exact
 from repro.orienteering.grasp import solve_grasp
 from repro.orienteering.greedy import solve_greedy
@@ -39,22 +40,23 @@ def solve_orienteering(instance: OrienteeringInstance, *,
     OrienteeringSolution
         Always budget-feasible; the depot-only tour when nothing fits.
     """
-    if method == "auto":
-        if instance.n_nodes <= AUTO_EXACT_THRESHOLD:
+    with span("orienteering.solve", method=method, n_nodes=instance.n_nodes):
+        if method == "auto":
+            if instance.n_nodes <= AUTO_EXACT_THRESHOLD:
+                return solve_exact(instance)
+            return solve_grasp(instance, n_restarts=n_restarts,
+                               rcl_size=rcl_size, seed=seed)
+        if method == "exact":
+            if instance.n_nodes > MAX_EXACT_NODES:
+                raise InvalidParameterError(
+                    f"exact method limited to {MAX_EXACT_NODES} nodes, "
+                    f"instance has {instance.n_nodes}")
             return solve_exact(instance)
-        return solve_grasp(instance, n_restarts=n_restarts,
-                           rcl_size=rcl_size, seed=seed)
-    if method == "exact":
-        if instance.n_nodes > MAX_EXACT_NODES:
-            raise InvalidParameterError(
-                f"exact method limited to {MAX_EXACT_NODES} nodes, "
-                f"instance has {instance.n_nodes}")
-        return solve_exact(instance)
-    if method == "grasp":
-        return solve_grasp(instance, n_restarts=n_restarts,
-                           rcl_size=rcl_size, seed=seed)
-    if method == "greedy":
-        return solve_greedy(instance)
+        if method == "grasp":
+            return solve_grasp(instance, n_restarts=n_restarts,
+                               rcl_size=rcl_size, seed=seed)
+        if method == "greedy":
+            return solve_greedy(instance)
     raise InvalidParameterError(
         f"unknown orienteering method {method!r}; "
         "expected 'auto', 'exact', 'grasp', or 'greedy'")

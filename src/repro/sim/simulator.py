@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.tour import CollectionTour
 from repro.energy.ledger import EnergyLedger
 from repro.geometry.coverage import CoverageIndex
+from repro.obs.tracer import span
 from repro.radio.link import DistanceRateModel, RadioModel
 from repro.radio.ofdma import OFDMAScheduler
 from repro.sim.events import FlightLeg, HoverEvent
@@ -68,43 +69,49 @@ def simulate_mission(tour: CollectionTour, radio: RadioModel, *,
     clock = 0.0
     points = tour.points
 
-    for i in range(len(points)):
-        pos = points[i]
-        # Hover & collect (skip zero-duration stops like the bare depot).
-        duration = float(tour.sojourns[i])
-        if duration > 0:
-            entry = ledger.debit_hover(duration, note=f"hover@{i}")
-            covered = index.covered_by_single(pos)
-            assignment = scheduler.assign(covered)
-            uploads = {}
-            for v, _ch in assignment.device_to_channel.items():
-                if rate_model is not None:
-                    ground_d = float(np.hypot(*(net.positions[v] - pos)))
-                    rate = float(rate_model.rate_at(np.asarray([ground_d]))[0])
-                else:
-                    rate = radio.bandwidth
-                amount = min(rem[v], rate * duration)
-                if amount > 0:
-                    uploads[v] = amount
-                    rem[v] -= amount
-                    collected[v] += amount
-            events.append(HoverEvent(
-                start_time=clock, end_time=clock + duration,
-                position=(float(pos[0]), float(pos[1])),
-                energy=entry.energy, uploads=uploads,
-                channels=dict(assignment.device_to_channel)))
-            clock += duration
-        # Fly to the next point (wrapping back to the depot at the end).
-        nxt = points[(i + 1) % len(points)]
-        leg = float(np.hypot(*(nxt - pos)))
-        if leg > 0:
-            entry = ledger.debit_travel(leg, note=f"leg{i}->{(i + 1) % len(points)}")
-            events.append(FlightLeg(
-                start_time=clock, end_time=clock + entry.duration,
-                origin=(float(pos[0]), float(pos[1])),
-                destination=(float(nxt[0]), float(nxt[1])),
-                distance=leg, energy=entry.energy))
-            clock += entry.duration
+    with span("sim.mission", method=tour.method, n_stops=len(points)):
+        for i in range(len(points)):
+            pos = points[i]
+            # Hover & collect (skip zero-duration stops, e.g. bare depot).
+            duration = float(tour.sojourns[i])
+            if duration > 0:
+                with span("sim.hover"):
+                    entry = ledger.debit_hover(duration, note=f"hover@{i}")
+                    covered = index.covered_by_single(pos)
+                    assignment = scheduler.assign(covered)
+                    uploads = {}
+                    for v, _ch in assignment.device_to_channel.items():
+                        if rate_model is not None:
+                            ground_d = float(
+                                np.hypot(*(net.positions[v] - pos)))
+                            rate = float(
+                                rate_model.rate_at(np.asarray([ground_d]))[0])
+                        else:
+                            rate = radio.bandwidth
+                        amount = min(rem[v], rate * duration)
+                        if amount > 0:
+                            uploads[v] = amount
+                            rem[v] -= amount
+                            collected[v] += amount
+                    events.append(HoverEvent(
+                        start_time=clock, end_time=clock + duration,
+                        position=(float(pos[0]), float(pos[1])),
+                        energy=entry.energy, uploads=uploads,
+                        channels=dict(assignment.device_to_channel)))
+                    clock += duration
+            # Fly to the next point (wrapping back to the depot at the end).
+            nxt = points[(i + 1) % len(points)]
+            leg = float(np.hypot(*(nxt - pos)))
+            if leg > 0:
+                with span("sim.leg"):
+                    entry = ledger.debit_travel(
+                        leg, note=f"leg{i}->{(i + 1) % len(points)}")
+                    events.append(FlightLeg(
+                        start_time=clock, end_time=clock + entry.duration,
+                        origin=(float(pos[0]), float(pos[1])),
+                        destination=(float(nxt[0]), float(nxt[1])),
+                        distance=leg, energy=entry.energy))
+                    clock += entry.duration
 
     return MissionTrace(events=events, collected=collected, ledger=ledger,
                         ofdma_max_concurrency=scheduler.max_concurrency)

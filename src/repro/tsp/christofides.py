@@ -22,6 +22,7 @@ import networkx as nx
 import numpy as np
 from scipy.sparse.csgraph import minimum_spanning_tree
 
+from repro.obs.tracer import span
 from repro.tsp.length import validate_tour
 from repro.utils.errors import InvalidParameterError
 
@@ -75,57 +76,60 @@ def christofides_tour(dist: np.ndarray, start: int = 0,
         rest = pool[pool != start]
         return np.concatenate([[start], rest]).astype(int)
 
-    sub = d[np.ix_(pool, pool)]
+    with span("tsp.christofides"):
+        sub = d[np.ix_(pool, pool)]
 
-    # 1. MST on the subset (scipy is much faster than nx for dense input).
-    #    scipy's sparse MST treats exact zeros as "no edge", which would
-    #    disconnect coincident points; shifting every edge by a constant
-    #    leaves the arg-min spanning tree unchanged (all trees gain the
-    #    same (k-1)*shift) while keeping zero-length edges representable.
-    shift = max(1.0, float(sub.max()))
-    shifted = sub + shift
-    np.fill_diagonal(shifted, 0.0)
-    mst = minimum_spanning_tree(shifted).toarray()
-    mst_sym = mst + mst.T
+        # 1. MST on the subset (scipy is much faster than nx for dense
+        #    input).  scipy's sparse MST treats exact zeros as "no edge",
+        #    which would disconnect coincident points; shifting every edge
+        #    by a constant leaves the arg-min spanning tree unchanged (all
+        #    trees gain the same (k-1)*shift) while keeping zero-length
+        #    edges representable.
+        shift = max(1.0, float(sub.max()))
+        shifted = sub + shift
+        np.fill_diagonal(shifted, 0.0)
+        mst = minimum_spanning_tree(shifted).toarray()
+        mst_sym = mst + mst.T
 
-    degree = (mst_sym > 0).sum(axis=1)
-    odd = np.flatnonzero(degree % 2 == 1)
-    # Handshake lemma: the number of odd-degree vertices is even.
-    assert len(odd) % 2 == 0, "odd-degree vertex count must be even"
+        degree = (mst_sym > 0).sum(axis=1)
+        odd = np.flatnonzero(degree % 2 == 1)
+        # Handshake lemma: the number of odd-degree vertices is even.
+        assert len(odd) % 2 == 0, "odd-degree vertex count must be even"
 
-    # 2. Min-weight perfect matching on the odd vertices (blossom algorithm
-    #    via networkx; min_weight over the complete graph on `odd`).
-    g_odd = nx.Graph()
-    g_odd.add_nodes_from(range(len(odd)))
-    for a in range(len(odd)):
-        for b in range(a + 1, len(odd)):
-            g_odd.add_edge(a, b, weight=float(sub[odd[a], odd[b]]))
-    matching = nx.min_weight_matching(g_odd)
+        # 2. Min-weight perfect matching on the odd vertices (blossom
+        #    algorithm via networkx; min_weight over the complete graph
+        #    on `odd`).
+        g_odd = nx.Graph()
+        g_odd.add_nodes_from(range(len(odd)))
+        for a in range(len(odd)):
+            for b in range(a + 1, len(odd)):
+                g_odd.add_edge(a, b, weight=float(sub[odd[a], odd[b]]))
+        matching = nx.min_weight_matching(g_odd)
 
-    # 3. Multigraph = MST + matching edges; it is connected with all-even
-    #    degrees, hence Eulerian.
-    multi = nx.MultiGraph()
-    multi.add_nodes_from(range(k))
-    ii, jj = np.nonzero(mst)
-    for a, b in zip(ii, jj):
-        multi.add_edge(int(a), int(b))
-    for a, b in matching:
-        multi.add_edge(int(odd[a]), int(odd[b]))
-    start_local = int(np.flatnonzero(pool == start)[0])
-    circuit = nx.eulerian_circuit(multi, source=start_local)
+        # 3. Multigraph = MST + matching edges; it is connected with
+        #    all-even degrees, hence Eulerian.
+        multi = nx.MultiGraph()
+        multi.add_nodes_from(range(k))
+        ii, jj = np.nonzero(mst)
+        for a, b in zip(ii, jj):
+            multi.add_edge(int(a), int(b))
+        for a, b in matching:
+            multi.add_edge(int(odd[a]), int(odd[b]))
+        start_local = int(np.flatnonzero(pool == start)[0])
+        circuit = nx.eulerian_circuit(multi, source=start_local)
 
-    # 4. Shortcut: keep the first occurrence of each vertex.
-    seen = np.zeros(k, dtype=bool)
-    order = []
-    for a, _b in circuit:
-        if not seen[a]:
-            seen[a] = True
-            order.append(a)
-    # The Euler circuit visits every vertex (the multigraph is connected).
-    assert seen.all(), "Euler circuit missed a vertex"
+        # 4. Shortcut: keep the first occurrence of each vertex.
+        seen = np.zeros(k, dtype=bool)
+        order = []
+        for a, _b in circuit:
+            if not seen[a]:
+                seen[a] = True
+                order.append(a)
+        # The Euler circuit visits every vertex (connected multigraph).
+        assert seen.all(), "Euler circuit missed a vertex"
 
-    tour = pool[np.asarray(order, dtype=int)]
-    return validate_tour(tour, n)
+        tour = pool[np.asarray(order, dtype=int)]
+        return validate_tour(tour, n)
 
 
 __all__ = ["christofides_tour"]

@@ -27,6 +27,11 @@ class Timer:
         self._elapsed: Optional[float] = None
 
     def __enter__(self) -> "Timer":
+        if self.running:
+            # Nested re-entry would silently restart the clock and corrupt
+            # the outer measurement; sequential reuse stays allowed.
+            raise RuntimeError("Timer is already running; "
+                               "use a separate Timer for nested timing")
         self._start = time.perf_counter()
         self._elapsed = None
         return self

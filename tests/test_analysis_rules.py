@@ -15,6 +15,7 @@ from repro.analysis.engine import Project, run_rules
 from repro.analysis.rules import (
     ExportDriftRule,
     HotPathPurityRule,
+    ObsSpanNamingRule,
     PaperEquationRule,
     RegistrySyncRule,
     RngDisciplineRule,
@@ -467,9 +468,94 @@ class TestPaperEquationRefs:
         assert found[0].line == 4
 
 
+class TestObsSpanNaming:
+    BAD = """
+        from repro.obs.tracer import span
+
+        def rescore():
+            with span("Rescore!"):
+                return 1
+    """
+    GOOD = """
+        from repro.obs.tracer import span
+
+        def rescore():
+            with span("kernel.rescore"):
+                return 1
+    """
+
+    def test_fires_on_undotted_name(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/core/k.py": self.BAD})
+        found = rule_findings(project, ObsSpanNamingRule())
+        assert len(found) == 1
+        assert "'Rescore!'" in found[0].message
+        assert found[0].line == 5
+
+    def test_quiet_on_dotted_lowercase(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/core/k.py": self.GOOD})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_fires_on_single_segment_and_camel_case(self, tmp_path):
+        bad = """
+            from repro.obs.tracer import span
+
+            def f(tracer):
+                with span("rescore"):
+                    pass
+                with tracer.span("kernel.Rescore"):
+                    pass
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        names = {f.message.split("'")[1]
+                 for f in rule_findings(project, ObsSpanNamingRule())}
+        assert names == {"rescore", "kernel.Rescore"}
+
+    def test_dynamic_names_skipped(self, tmp_path):
+        dynamic = """
+            from repro.obs.tracer import span
+
+            def f(name):
+                with span(name):
+                    pass
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": dynamic})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_unrelated_span_attributes_ignored(self, tmp_path):
+        unrelated = """
+            import re
+
+            def f(match):
+                return match.span("BAD NAME")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": unrelated})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_scope_is_repro_package_only(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_x.py").write_text(textwrap.dedent(
+            self.BAD))
+        project = Project.load(tmp_path, [tmp_path / "tests"])
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_allow_directive_suppresses(self, tmp_path):
+        allowed = """
+            from repro.obs.tracer import span
+
+            def f():
+                # repro: allow[obs-span-naming] -- legacy external name
+                with span("LegacyProfiler"):
+                    pass
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": allowed})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+
 class TestEveryRuleHasFixtureCoverage:
     def test_all_default_rules_tested(self):
         from repro.analysis.rules import default_rules
         tested = {"rng-discipline", "hot-path-purity", "registry-sync",
-                  "export-drift", "units-suffix", "paper-eq-refs"}
+                  "export-drift", "units-suffix", "paper-eq-refs",
+                  "obs-span-naming"}
         assert {r.rule_id for r in default_rules()} == tested

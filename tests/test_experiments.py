@@ -8,7 +8,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.instances import make_instances
-from repro.experiments.runner import AlgoSpec, run_sweep
+from repro.experiments.runner import AlgoSpec, _flatten_perf, run_sweep
 from repro.experiments.tables import rows_to_csv, rows_to_markdown
 from repro.utils.errors import InvalidParameterError
 
@@ -101,6 +101,41 @@ class TestRunner:
                   make_kwargs=lambda cfg, v, s: dict(s.kwargs),
                   progress=lines.append)
         assert len(lines) == 1
+
+    def test_perf_aggregation_includes_nested_timers(self, tiny_config):
+        # The kernel's perf dict nests {"seconds": {...}}; the runner must
+        # flatten it into dotted keys instead of silently dropping it.
+        instances = make_instances(tiny_config)
+        result = run_sweep(
+            tiny_config, instances,
+            [AlgoSpec("Alg2", "algorithm2", {"delta": 40.0})],
+            param_name="capacity", param_values=(1.5e4,),
+            make_energy=lambda cfg, v: cfg.energy_model(capacity=v),
+            make_kwargs=lambda cfg, v, s: dict(s.kwargs))
+        perf = result.rows[0].perf
+        assert perf is not None
+        assert perf["engine"] == "kernel"
+        assert perf["sites_rescored"] > 0
+        for key in ("seconds.rescore", "seconds.insertion",
+                    "seconds.partial"):
+            assert key in perf and perf[key] >= 0.0
+
+
+class TestFlattenPerf:
+    def test_nested_dicts_become_dotted_keys(self):
+        flat = _flatten_perf({
+            "sites_rescored": 3,
+            "seconds": {"rescore": 0.25, "deep": {"leaf": 1}},
+        })
+        assert flat == {"sites_rescored": 3.0, "seconds.rescore": 0.25,
+                        "seconds.deep.leaf": 1.0}
+
+    def test_non_numeric_leaves_skipped(self):
+        assert _flatten_perf({"engine": "kernel", "polished": True,
+                              "n": 2}) == {"n": 2.0}
+
+    def test_empty(self):
+        assert _flatten_perf({}) == {}
 
 
 class TestFigureRunners:

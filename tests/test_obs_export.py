@@ -1,0 +1,126 @@
+"""Tests for repro.obs.export: JSONL round-trips and Chrome trace schema."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.export import (
+    TRACE_CATEGORY,
+    TRACE_PID,
+    TRACE_TID,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def nested_trace() -> Tracer:
+    """Three-level span tree with attributes, as a real planner produces."""
+    tracer = Tracer()
+    with tracer.span("planner.plan_tour", method="algorithm2", n_nodes=20):
+        with tracer.span("alg2.round"):
+            with tracer.span("kernel.rescore"):
+                pass
+            with tracer.span("kernel.insertion"):
+                pass
+        with tracer.span("alg2.polish"):
+            pass
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip_path(self, tmp_path):
+        tracer = nested_trace()
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(tracer.records(), path)
+        assert n == 5
+        assert read_jsonl(path) == tracer.records()
+
+    def test_round_trip_stream(self):
+        tracer = nested_trace()
+        buf = io.StringIO()
+        write_jsonl(tracer.records(), buf)
+        assert read_jsonl(io.StringIO(buf.getvalue())) == tracer.records()
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(nested_trace().records(), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_blank_lines_ignored_on_read(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "a.b", "dur_s": 0.0}\n\n\n')
+        assert len(read_jsonl(path)) == 1
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        """Satellite check: ph/ts/dur/pid/tid on every exported span."""
+        tracer = nested_trace()
+        payload = to_chrome_trace(tracer.records())
+        assert payload["displayTimeUnit"] == "ms"
+        meta, *events = payload["traceEvents"]
+        assert meta["ph"] == "M" and meta["name"] == "process_name"
+        assert len(events) == 5
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == TRACE_CATEGORY
+            assert event["pid"] == TRACE_PID
+            assert event["tid"] == TRACE_TID
+            assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+            assert isinstance(event["dur"], float) and event["dur"] >= 0.0
+            assert "span_id" in event["args"]
+
+    def test_nested_tree_round_trips_through_args(self):
+        """The span hierarchy survives conversion via args.parent_id."""
+        tracer = nested_trace()
+        records = tracer.records()
+        payload = to_chrome_trace(records)
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_id = {e["args"]["span_id"]: e for e in events}
+        for rec in records:
+            event = by_id[rec["id"]]
+            assert event["name"] == rec["name"]
+            assert event["args"].get("parent_id") == (
+                rec["parent"] if rec["parent"] is not None else None)
+        # Rebuild parent names through the export and compare to the truth.
+        child_to_parent = {
+            e["name"]: by_id[e["args"]["parent_id"]]["name"]
+            for e in events if "parent_id" in e["args"]}
+        assert child_to_parent == {
+            "alg2.round": "planner.plan_tour",
+            "alg2.polish": "planner.plan_tour",
+            "kernel.rescore": "alg2.round",
+            "kernel.insertion": "alg2.round",
+        }
+
+    def test_attrs_carried_in_args(self):
+        tracer = nested_trace()
+        payload = to_chrome_trace(tracer.records())
+        root = next(e for e in payload["traceEvents"]
+                    if e.get("name") == "planner.plan_tour")
+        assert root["args"]["method"] == "algorithm2"
+        assert root["args"]["n_nodes"] == 20
+
+    def test_timestamps_are_microseconds(self):
+        tracer = Tracer()
+        with tracer.span("mod.op"):
+            pass
+        (rec,) = tracer.records()
+        payload = to_chrome_trace([rec])
+        event = payload["traceEvents"][-1]
+        assert event["ts"] == round(rec["ts_s"] * 1e6, 3)
+        assert event["dur"] == round(rec["dur_s"] * 1e6, 3)
+
+    def test_write_chrome_trace_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(nested_trace().records(), path)
+        assert n == 6  # 5 spans + 1 metadata event
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 6

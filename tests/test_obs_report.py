@@ -1,0 +1,137 @@
+"""Tests for repro.obs.report summarisation and the python -m repro.obs CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import write_jsonl
+from repro.obs.report import SpanStats, render_table, summarize
+from repro.obs.tracer import Tracer
+
+
+def make_records():
+    """Two roots: one with two children, one flat repeat of a name."""
+    tracer = Tracer()
+    with tracer.span("planner.plan_tour"):
+        with tracer.span("kernel.rescore"):
+            pass
+        with tracer.span("kernel.rescore"):
+            pass
+    with tracer.span("sim.mission"):
+        pass
+    return tracer.records()
+
+
+class TestSummarize:
+    def test_counts_and_ordering(self):
+        stats = summarize(make_records())
+        by_name = {s.name: s for s in stats}
+        assert by_name["kernel.rescore"].count == 2
+        assert by_name["planner.plan_tour"].count == 1
+        # Sorted by total descending; the root envelops its children.
+        assert stats[0].name == "planner.plan_tour"
+
+    def test_self_time_subtracts_direct_children(self):
+        stats = {s.name: s for s in summarize(make_records())}
+        root = stats["planner.plan_tour"]
+        children_total = stats["kernel.rescore"].total_s
+        assert root.self_s == pytest.approx(
+            max(root.total_s - children_total, 0.0), abs=1e-9)
+        # Leaves own all their time.
+        leaf = stats["kernel.rescore"]
+        assert leaf.self_s == pytest.approx(leaf.total_s)
+
+    def test_mean_and_p95(self):
+        records = [
+            {"name": "a.b", "ts_s": 0.0, "dur_s": d, "id": i,
+             "parent": None, "depth": 0, "attrs": {}}
+            for i, d in enumerate([1.0, 2.0, 3.0, 4.0])
+        ]
+        (s,) = summarize(records)
+        assert s.total_s == 10.0
+        assert s.mean_s == 2.5
+        assert s.p95_s == 4.0  # nearest rank on 4 samples
+
+    def test_orphaned_children_tolerated(self):
+        # A dropped parent (ring-buffer truncation) must not crash or
+        # double-count: children referencing a missing id stand alone.
+        records = [{"name": "kid.op", "ts_s": 0.0, "dur_s": 1.0, "id": 5,
+                    "parent": 99, "depth": 3, "attrs": {}}]
+        (s,) = summarize(records)
+        assert s.total_s == 1.0 and s.self_s == 1.0
+
+    def test_empty(self):
+        assert summarize([]) == []
+
+    def test_as_dict(self):
+        s = SpanStats(name="a.b", count=1, total_s=1.0, mean_s=1.0,
+                      p95_s=1.0, self_s=0.5)
+        assert s.as_dict()["self_s"] == 0.5
+
+
+class TestRenderTable:
+    def test_contains_all_names_and_header(self):
+        text = render_table(summarize(make_records()))
+        for fragment in ("span", "count", "total", "mean", "p95", "self",
+                         "planner.plan_tour", "kernel.rescore",
+                         "sim.mission"):
+            assert fragment in text
+
+    def test_top_limits_rows(self):
+        text = render_table(summarize(make_records()), top=1)
+        assert "planner.plan_tour" in text
+        assert "sim.mission" not in text
+
+    def test_empty_placeholder(self):
+        assert "(no spans recorded)" in render_table([])
+
+    def test_columns_align(self):
+        lines = render_table(summarize(make_records())).splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1
+
+
+class TestCli:
+    def test_report_table(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        write_jsonl(make_records(), trace)
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "planner.plan_tour" in out and "4 span(s)" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        write_jsonl(make_records(), trace)
+        assert main(["report", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 4
+        assert {s["name"] for s in payload["stats"]} == {
+            "planner.plan_tour", "kernel.rescore", "sim.mission"}
+
+    def test_report_chrome_trace_conversion(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        out_json = tmp_path / "t.json"
+        write_jsonl(make_records(), trace)
+        assert main(["report", str(trace),
+                     "--chrome-trace", str(out_json)]) == 0
+        assert json.loads(out_json.read_text())["traceEvents"]
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_no_command_exits_2(self, capsys):
+        assert main([]) == 2
+
+    def test_demo_writes_trace_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "demo.jsonl"
+        chrome = tmp_path / "demo.json"
+        assert main(["demo", "--out", str(out), "--chrome-trace", str(chrome),
+                     "--nodes", "12", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "planner.plan_tour" in captured.out
+        assert out.exists() and chrome.exists()
+        # The demo trace summarises cleanly through the report command.
+        assert main(["report", str(out), "--top", "5"]) == 0

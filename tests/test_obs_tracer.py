@@ -1,0 +1,233 @@
+"""Unit tests for repro.obs.tracer: spans, ring buffer, activation, env."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activated,
+    get_tracer,
+    install_from_env,
+    set_tracer,
+    span,
+    walk_children,
+)
+
+
+class TestSpanRecording:
+    def test_single_span_record_schema(self):
+        tracer = Tracer()
+        with tracer.span("mod.op", key=1):
+            pass
+        (rec,) = tracer.records()
+        assert rec["name"] == "mod.op"
+        assert rec["dur_s"] >= 0.0
+        assert rec["ts_s"] >= 0.0
+        assert rec["parent"] is None
+        assert rec["depth"] == 0
+        assert rec["attrs"] == {"key": 1}
+
+    def test_nesting_builds_parent_links_and_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer.op"):
+            with tracer.span("inner.op"):
+                with tracer.span("leaf.op"):
+                    pass
+            with tracer.span("inner.other"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        outer, inner = by_name["outer.op"], by_name["inner.op"]
+        assert outer["depth"] == 0 and outer["parent"] is None
+        assert inner["depth"] == 1 and inner["parent"] == outer["id"]
+        assert by_name["leaf.op"]["parent"] == inner["id"]
+        assert by_name["inner.other"]["parent"] == outer["id"]
+        # Completion order: children close before their parents.
+        names = [r["name"] for r in tracer.records()]
+        assert names.index("leaf.op") < names.index("inner.op")
+        assert names.index("inner.other") < names.index("outer.op")
+
+    def test_walk_children(self):
+        tracer = Tracer()
+        with tracer.span("root.op"):
+            with tracer.span("a.op"):
+                pass
+            with tracer.span("b.op"):
+                pass
+        records = tracer.records()
+        root = next(r for r in records if r["name"] == "root.op")
+        kids = {r["name"] for r in walk_children(records, root["id"])}
+        assert kids == {"a.op", "b.op"}
+        roots = {r["name"] for r in walk_children(records, None)}
+        assert roots == {"root.op"}
+
+    def test_child_duration_bounded_by_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer.op"):
+            with tracer.span("inner.op"):
+                sum(range(1000))
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["inner.op"]["dur_s"] <= by_name["outer.op"]["dur_s"]
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("mod.op") as s:
+            s.set(found=3)
+        (rec,) = tracer.records()
+        assert rec["attrs"] == {"found": 3}
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("mod.op"):
+                raise ValueError("boom")
+        assert len(tracer.records()) == 1
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("mod.op"):
+                pass
+        ids = [r["id"] for r in tracer.records()]
+        assert ids == sorted(set(ids))
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retained_records(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span("mod.op", i=i):
+                pass
+        records = tracer.records()
+        assert len(records) == 4
+        assert [r["attrs"]["i"] for r in records] == [6, 7, 8, 9]
+        assert tracer.dropped == 6
+
+    def test_default_capacity(self):
+        assert Tracer()._records.maxlen == DEFAULT_CAPACITY
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(3):
+            with tracer.span("mod.op"):
+                pass
+        tracer.clear()
+        assert tracer.records() == [] and tracer.dropped == 0
+
+
+class TestNullTracer:
+    def test_records_empty(self):
+        assert NULL_TRACER.records() == []
+        assert not NullTracer().enabled
+
+    @given(st.text(min_size=1, max_size=30),
+           st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers(), max_size=3))
+    def test_disabled_span_never_allocates(self, name, attrs):
+        # The disabled path must return the one shared no-op object for
+        # any (name, attrs): identity, not equality — zero allocation.
+        s = NULL_TRACER.span(name, **attrs)
+        assert s is NULL_SPAN
+        with s as entered:
+            assert entered is NULL_SPAN
+        assert s.set(extra=1) is NULL_SPAN
+
+    def test_module_span_helper_uses_null_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert span("anything.here", x=1) is NULL_SPAN
+
+
+class TestActivation:
+    def test_set_tracer_roundtrip(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+            with span("mod.op"):
+                pass
+            assert len(tracer.records()) == 1
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_activated_restores_on_exit(self):
+        tracer = Tracer()
+        with activated(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_activated_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with activated(tracer):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_activated_none_keeps_current(self):
+        tracer = Tracer()
+        with activated(tracer):
+            with activated(None):
+                assert get_tracer() is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_activated_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with activated(outer):
+            with activated(inner):
+                with span("mod.op"):
+                    pass
+            with span("mod.other"):
+                pass
+        assert [r["name"] for r in inner.records()] == ["mod.op"]
+        assert [r["name"] for r in outer.records()] == ["mod.other"]
+
+
+class TestInstallFromEnv:
+    def teardown_method(self):
+        set_tracer(None)
+
+    def test_disabled_values_leave_null(self):
+        for value in ("", "0", "false", "no", "off", "FALSE", " Off "):
+            assert install_from_env({"REPRO_TRACE": value}) is NULL_TRACER
+
+    def test_missing_leaves_null(self):
+        assert install_from_env({}) is NULL_TRACER
+
+    def test_truthy_installs_tracer(self):
+        tracer = install_from_env({"REPRO_TRACE": "1"})
+        assert isinstance(tracer, Tracer)
+        assert get_tracer() is tracer
+
+    def test_env_trace_file_exports_at_exit(self, tmp_path):
+        # Full subprocess round-trip: REPRO_TRACE enables tracing at
+        # import, REPRO_TRACE_FILE triggers the atexit JSONL export.
+        out = tmp_path / "env_trace.jsonl"
+        code = (
+            "import repro.obs\n"
+            "from repro.obs.tracer import span\n"
+            "with span('env.demo'):\n"
+            "    pass\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"REPRO_TRACE": "1", "REPRO_TRACE_FILE": str(out),
+                 "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=".", capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        from repro.obs.export import read_jsonl
+        records = read_jsonl(out)
+        assert [r["name"] for r in records] == ["env.demo"]

@@ -69,3 +69,15 @@ class TestTimer:
         with t:
             time.sleep(0.01)
         assert t.elapsed >= 0.0 and t.elapsed != first
+
+    def test_nested_reentry_raises(self):
+        # Re-entering a running timer would restart the clock and corrupt
+        # the outer measurement — it must fail loudly instead.
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="already running"):
+                with t:
+                    pass
+            # The outer measurement survives the rejected re-entry.
+            assert t.running
+        assert t.elapsed >= 0.0
