@@ -24,12 +24,12 @@ implementation offers two modes:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.core.auxgraph import build_auxiliary_graph
-from repro.core.hovering import build_hovering_sites
+from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
+from repro.core.hovering import HoveringSites, build_hovering_sites
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
@@ -54,7 +54,11 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
                     overlap: str = "conflict",
                     solver: str = "grasp",
                     n_restarts: int = 8,
-                    seed: SeedLike = None) -> CollectionTour:
+                    seed: SeedLike = None,
+                    sites: Optional[HoveringSites] = None,
+                    graph: Optional[AuxiliaryGraph] = None,
+                    conflict_neighbors: Optional[List[np.ndarray]] = None
+                    ) -> CollectionTour:
     """Plan a full-collection tour via the orienteering reduction.
 
     Parameters
@@ -70,6 +74,12 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         Orienteering backend (``"auto"``/``"exact"``/``"grasp"``/``"greedy"``).
     n_restarts, seed:
         GRASP parameters.
+    sites, graph, conflict_neighbors:
+        Pre-built reduction inputs (else built from the problem inputs).
+        Sweep campaigns memoize these per (instance, δ) via
+        :class:`repro.experiments.artifacts.ArtifactCache`; a supplied
+        *graph* must have been weighted with this call's energy rates
+        (the capacity may differ — it only enters as the budget).
 
     Returns
     -------
@@ -83,15 +93,29 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
     if delta > r0:
         raise InvalidParameterError(
             f"Algorithm 1 requires delta <= R0 ({r0:.1f} m), got {delta}")
+    if graph is not None:
+        if (graph.energy.hover_power != energy.hover_power
+                or graph.energy.travel_cost_per_meter
+                != energy.travel_cost_per_meter):
+            raise InvalidParameterError(
+                "pre-built graph was weighted with different energy rates")
+        if sites is not None and graph.sites is not sites:
+            raise InvalidParameterError(
+                "pre-built graph does not match the supplied sites")
 
     with span("alg1.reduction"):
-        sites = build_hovering_sites(network, radio, delta)
-        graph = build_auxiliary_graph(sites, energy)
+        if graph is not None and sites is None:
+            sites = graph.sites
+        if sites is None:
+            sites = build_hovering_sites(network, radio, delta)
+        if graph is None:
+            graph = build_auxiliary_graph(sites, energy)
 
         neighbors = None
         if overlap == "conflict" and sites.n_sites > 0:
-            neighbors = _conflict_neighbors_from_overlap(
-                sites.overlap_matrix())
+            neighbors = (conflict_neighbors if conflict_neighbors is not None
+                         else _conflict_neighbors_from_overlap(
+                             sites.overlap_matrix()))
 
     instance = OrienteeringInstance(costs=graph.costs, awards=graph.awards,
                                     budget=energy.capacity, depot=0,

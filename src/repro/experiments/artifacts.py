@@ -1,0 +1,154 @@
+"""Per-instance artifact cache for sweep campaigns.
+
+A sweep grid re-plans the *same* network instances cell after cell, yet
+most of the planners' per-instance inputs depend only on (instance, δ)
+and the energy *rates* — never on the swept battery capacity:
+
+* the δ-grid hovering sites (coverage matrix, awards, hover times),
+* Algorithm 1's conflict-neighbor lists (coverage-overlap groups),
+* Algorithm 1's auxiliary graph ``G_s`` (edge weights use η_h and the
+  J/m travel rate; the capacity only enters as the orienteering budget).
+
+:class:`ArtifactCache` memoizes exactly those artifacts so a capacity
+sweep builds each instance's geometry once instead of once per cell.
+The cache is *per process*: the sequential runner keeps one for the
+whole sweep, and every worker of the parallel executor keeps its own
+(instances are not shared across processes).  Cached artifacts are the
+byte-identical outputs of the same pure constructors the planners call
+themselves, so cached and uncached sweeps produce bitwise-identical
+tours — ``tests/test_experiments_parallel.py`` pins that.
+
+Keys use ``id(network)``; the cache pins a reference to every keyed
+network so an id can never be recycled while the cache lives.  Do not
+feed a cache networks you intend to mutate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
+from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.energy.model import EnergyModel
+from repro.network.sensor_network import SensorNetwork
+from repro.radio.link import RadioModel
+
+#: Planner methods whose kwargs the cache knows how to augment.
+CACHEABLE_METHODS = ("algorithm1", "algorithm2", "algorithm3")
+
+_SiteKey = Tuple[int, float, float, float]
+_GraphKey = Tuple[int, float, float, float, float, float]
+
+
+class ArtifactCache:
+    """Memoized per-(instance, δ) planner geometry (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[_SiteKey, HoveringSites] = {}
+        self._graphs: Dict[_GraphKey, AuxiliaryGraph] = {}
+        self._conflicts: Dict[_SiteKey, List[np.ndarray]] = {}
+        self._pins: Dict[int, SensorNetwork] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._sites) + len(self._graphs) + len(self._conflicts)
+
+    def _site_key(self, network: SensorNetwork, radio: RadioModel,
+                  delta: float) -> _SiteKey:
+        self._pins[id(network)] = network
+        return (id(network), float(delta), float(radio.bandwidth),
+                float(radio.coverage_radius))
+
+    def sites(self, network: SensorNetwork, radio: RadioModel,
+              delta: float) -> HoveringSites:
+        """The memoized :func:`build_hovering_sites` output for a cell."""
+        key = self._site_key(network, radio, delta)
+        cached = self._sites.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = build_hovering_sites(network, radio, delta)
+        self._sites[key] = built
+        return built
+
+    def conflict_neighbors(self, network: SensorNetwork, radio: RadioModel,
+                           delta: float) -> List[np.ndarray]:
+        """Memoized Algorithm 1 conflict lists (depot entry included)."""
+        key = self._site_key(network, radio, delta)
+        cached = self._conflicts.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        sites = self.sites(network, radio, delta)
+        lists: List[np.ndarray] = [np.empty(0, dtype=int)]
+        for row in sites.overlap_matrix():
+            lists.append(np.flatnonzero(row) + 1)
+        self._conflicts[key] = lists
+        return lists
+
+    def graph(self, network: SensorNetwork, radio: RadioModel, delta: float,
+              energy: EnergyModel) -> AuxiliaryGraph:
+        """Memoized auxiliary graph, keyed on energy *rates* not capacity."""
+        key = self._site_key(network, radio, delta) + (
+            float(energy.hover_power), float(energy.travel_cost_per_meter))
+        cached = self._graphs.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = build_auxiliary_graph(self.sites(network, radio, delta),
+                                      energy)
+        self._graphs[key] = built
+        return built
+
+    def augment_kwargs(self, network: SensorNetwork, energy: EnergyModel,
+                       radio: RadioModel, method: str,
+                       kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        """Planner kwargs for one cell with cached geometry injected.
+
+        Methods outside :data:`CACHEABLE_METHODS` (the benchmark hovers
+        directly over sensors — no δ-grid) and cells without a ``delta``
+        kwarg pass through unchanged.  The injected objects are the same
+        values the planner would otherwise build internally, so the tour
+        is unchanged bitwise.
+        """
+        if method not in CACHEABLE_METHODS or "delta" not in kwargs:
+            return kwargs
+        delta = float(kwargs["delta"])
+        augmented = dict(kwargs)
+        augmented["sites"] = self.sites(network, radio, delta)
+        if method == "algorithm1":
+            augmented["graph"] = self.graph(network, radio, delta, energy)
+            if kwargs.get("overlap", "conflict") == "conflict":
+                augmented["conflict_neighbors"] = self.conflict_neighbors(
+                    network, radio, delta)
+        return augmented
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the number of cached artifacts."""
+        return {"hits": self.hits, "misses": self.misses,
+                "artifacts": len(self)}
+
+
+def resolve_cache(cache: Any) -> Optional[ArtifactCache]:
+    """Normalise a ``cache=`` argument: True → fresh cache, False → None.
+
+    ``run_sweep`` and the figure runners accept either a bool (own the
+    cache for the duration of the sweep) or an :class:`ArtifactCache`
+    instance (caller-owned, e.g. shared across figures at equal δ).
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ArtifactCache()
+    if isinstance(cache, ArtifactCache):
+        return cache
+    raise TypeError(f"cache must be a bool or ArtifactCache, got {cache!r}")
+
+
+__all__ = ["ArtifactCache", "CACHEABLE_METHODS", "resolve_cache"]

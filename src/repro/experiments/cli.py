@@ -81,7 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", type=pathlib.Path, default=None,
                         help="record a structured span trace of the runs "
                              "and write it as JSONL to this path (inspect "
-                             "with 'python -m repro.obs report')")
+                             "with 'python -m repro.obs report'); with "
+                             "--jobs N worker shards are merged in")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep (default 1: "
+                             "in-process); results are identical to "
+                             "--jobs 1 up to measured wall-clock")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="rebuild per-instance geometry every cell "
+                             "instead of memoizing it across the sweep "
+                             "(paper-literal per-cell timings)")
     return parser
 
 
@@ -100,6 +109,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
     config = _config_from_args(args)
     if args.figure == "report":
         from repro.experiments.report import generate_report
@@ -116,9 +129,11 @@ def main(argv=None) -> int:
     figures = list(RUNNERS) if args.figure == "all" else [args.figure]
     for fig in figures:
         print(f"== {fig} ({config.label} scale, |V|={config.n_nodes}, "
-              f"{config.n_instances} instances) ==", file=sys.stderr)
+              f"{config.n_instances} instances, jobs={args.jobs}) ==",
+              file=sys.stderr)
         with activated(tracer):
-            result = RUNNERS[fig](config, progress=progress)
+            result = RUNNERS[fig](config, progress=progress,
+                                  jobs=args.jobs, cache=not args.no_cache)
         print(rows_to_markdown(result, title=f"{fig} — {config.label} scale"))
         if args.ascii:
             print(render_sweep(result, panel="volume"))

@@ -14,8 +14,8 @@ shrinks ~4-10x.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Tuple
 
 from repro.energy.model import EnergyModel
 from repro.geometry.region import Region
@@ -115,6 +115,36 @@ class ExperimentConfig:
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict of every field (tuples become lists).
+
+        This is the configuration transport of the parallel sweep
+        executor: workers rebuild their energy/radio models from this
+        payload instead of unpickling live objects.
+        """
+        payload = asdict(self)
+        for key, value in payload.items():
+            if isinstance(value, tuple):
+                payload[key] = list(value)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`as_dict` (rejects unknown keys)."""
+        if not isinstance(data, dict):
+            raise InvalidParameterError("config payload must be a dict")
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown ExperimentConfig fields: {unknown}")
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)
 
 
 def paper_settings() -> ExperimentConfig:

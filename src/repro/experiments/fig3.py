@@ -40,8 +40,13 @@ def fig3_algorithms(config: ExperimentConfig, *,
 def run_fig3(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, n_restarts: int = 3, validate: bool = True,
-             progress=None) -> SweepResult:
-    """Run the Fig. 3 capacity sweep and return the aggregated rows."""
+             progress=None, jobs: int = 1, cache: bool = True) -> SweepResult:
+    """Run the Fig. 3 capacity sweep and return the aggregated rows.
+
+    ``jobs``/``cache`` select the execution engine and the per-instance
+    artifact cache (see :func:`repro.experiments.runner.run_sweep`); the
+    aggregated volumes are bitwise-identical across all settings.
+    """
     if instances is None:
         instances = make_instances(config)
     algorithms = fig3_algorithms(config, n_restarts=n_restarts)
@@ -52,7 +57,9 @@ def run_fig3(config: ExperimentConfig,
         make_energy=lambda cfg, value: cfg.energy_model(capacity=value),
         make_kwargs=lambda cfg, value, spec: dict(spec.kwargs),
         validate=validate,
-        progress=progress)
+        progress=progress,
+        jobs=jobs,
+        cache=cache)
 
 
 __all__ = ["run_fig3", "fig3_algorithms"]

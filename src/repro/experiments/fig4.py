@@ -36,8 +36,15 @@ def fig4_algorithms(config: ExperimentConfig) -> list:
 
 def run_fig4(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
-             *, validate: bool = True, progress=None) -> SweepResult:
-    """Run the Fig. 4 δ sweep and return the aggregated rows."""
+             *, validate: bool = True, progress=None,
+             jobs: int = 1, cache: bool = True) -> SweepResult:
+    """Run the Fig. 4 δ sweep and return the aggregated rows.
+
+    ``jobs``/``cache`` select the execution engine and the per-instance
+    artifact cache (see :func:`repro.experiments.runner.run_sweep`).
+    Each δ builds its own grid, so the cache pays off here across the
+    Algorithm 2/3 cells that share a δ, not along the swept axis.
+    """
     if instances is None:
         instances = make_instances(config)
 
@@ -54,7 +61,9 @@ def run_fig4(config: ExperimentConfig,
         make_energy=lambda cfg, value: cfg.energy_model(),
         make_kwargs=make_kwargs,
         validate=validate,
-        progress=progress)
+        progress=progress,
+        jobs=jobs,
+        cache=cache)
 
 
 __all__ = ["run_fig4", "fig4_algorithms"]

@@ -27,8 +27,15 @@ from repro.network.sensor_network import SensorNetwork
 
 def run_fig5(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
-             *, validate: bool = True, progress=None) -> SweepResult:
-    """Run the Fig. 5 capacity sweep and return the aggregated rows."""
+             *, validate: bool = True, progress=None,
+             jobs: int = 1, cache: bool = True) -> SweepResult:
+    """Run the Fig. 5 capacity sweep and return the aggregated rows.
+
+    ``jobs``/``cache`` select the execution engine and the per-instance
+    artifact cache (see :func:`repro.experiments.runner.run_sweep`); δ is
+    fixed here, so the cache builds each instance's grid exactly once
+    for the whole sweep.
+    """
     if instances is None:
         instances = make_instances(config)
 
@@ -45,7 +52,9 @@ def run_fig5(config: ExperimentConfig,
         make_energy=lambda cfg, value: cfg.energy_model(capacity=value),
         make_kwargs=make_kwargs,
         validate=validate,
-        progress=progress)
+        progress=progress,
+        jobs=jobs,
+        cache=cache)
 
 
 __all__ = ["run_fig5"]

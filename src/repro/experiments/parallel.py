@@ -1,0 +1,228 @@
+"""Process-pool sweep executor.
+
+Fans the (algorithm, parameter value) cells of one sweep out to ``jobs``
+worker processes and merges the per-cell :class:`~repro.experiments.runner.SweepRow`
+results back **deterministically**: rows come back in canonical cell
+order (parameter values outer, algorithms inner — identical to the
+sequential runner's loop nesting) no matter how many workers ran or in
+which order they finished.
+
+Transport is data, not objects:
+
+* the :class:`~repro.experiments.config.ExperimentConfig` crosses as its
+  :meth:`~repro.experiments.config.ExperimentConfig.as_dict` JSON,
+* the instance set crosses once per worker via
+  :func:`repro.network.serialization.networks_to_json` — the JSON round
+  trip is bitwise-exact (property-tested), which is what makes worker
+  tours identical to in-process tours,
+* each work unit is a JSON object carrying the cell index, the planner
+  kwargs (``make_kwargs`` output), and the cell's
+  :class:`~repro.energy.model.EnergyModel` fields (``make_energy`` runs
+  in the parent; workers rebuild the model from its fields).
+
+Each worker keeps its own per-process
+:class:`~repro.experiments.artifacts.ArtifactCache`, so geometry is
+built once per (instance, δ) *per worker*, and — when tracing is active
+in the parent — its own :class:`~repro.obs.tracer.Tracer`, flushed to a
+JSONL shard after every cell and merged into the parent tracer at the
+end (:mod:`repro.obs.shards`).  Per-cell planning time is measured
+inside the worker around the planning call only — queue wait and
+transport never pollute the paper's Figs. 3(b)/4(b)/5(b) quantity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.energy.model import EnergyModel
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    AlgoSpec,
+    SweepResult,
+    SweepRow,
+    _run_cell,
+    format_progress,
+    sweep_cells,
+)
+from repro.network.sensor_network import SensorNetwork
+from repro.network.serialization import networks_from_json, networks_to_json
+from repro.obs.shards import append_shard, merge_trace_shards, shard_path
+from repro.obs.tracer import Tracer, TracerLike, activated, span
+
+#: Worker-process state installed by :func:`_init_worker` (one per worker).
+_WORKER: Dict[str, Any] = {}
+
+
+def _encode_unit(index: int, param_name: str, value: float, spec: AlgoSpec,
+                 energy: EnergyModel, kwargs: Dict[str, Any],
+                 validate: bool) -> str:
+    """One cell as a JSON work unit; raises if kwargs are not data."""
+    unit = {
+        "cell": index,
+        "param_name": param_name,
+        "value": float(value),
+        "algorithm": spec.name,
+        "method": spec.method,
+        "kwargs": kwargs,
+        "energy": {
+            "capacity": energy.capacity,
+            "hover_power": energy.hover_power,
+            "travel_power": energy.travel_power,
+            "speed": energy.speed,
+            "distance_based_travel": energy.distance_based_travel,
+        },
+        "validate": validate,
+    }
+    try:
+        return json.dumps(unit)
+    except TypeError as exc:
+        raise TypeError(
+            f"parallel sweeps ship planner kwargs to workers as JSON; "
+            f"make_kwargs returned non-serialisable options for cell "
+            f"{spec.name!r} at {param_name}={value:g}: {exc}") from exc
+
+
+def _init_worker(config_json: str, instances_json: str, cache_enabled: bool,
+                 tracing: bool, shard_dir: Optional[str]) -> None:
+    """Per-worker setup: decode instances once, build cache and tracer."""
+    config = ExperimentConfig.from_dict(json.loads(config_json))
+    _WORKER["radio"] = config.radio_model()
+    _WORKER["instances"] = networks_from_json(instances_json)
+    _WORKER["cache"] = ArtifactCache() if cache_enabled else None
+    _WORKER["tracer"] = Tracer() if tracing else None
+    _WORKER["shard_dir"] = shard_dir
+
+
+def _plan_cell(unit_json: str) -> str:
+    """Worker entry: plan one cell, return its row (and stats) as JSON."""
+    unit = json.loads(unit_json)
+    spec = AlgoSpec(unit["algorithm"], unit["method"], unit["kwargs"])
+    energy = EnergyModel(**unit["energy"])
+    cache: Optional[ArtifactCache] = _WORKER["cache"]
+    tracer: Optional[Tracer] = _WORKER["tracer"]
+    with activated(tracer):
+        with span("runner.cell", cell=unit["cell"],
+                  param=unit["param_name"], value=unit["value"],
+                  algorithm=spec.name, worker=os.getpid()):
+            row = _run_cell(_WORKER["instances"], spec, unit["param_name"],
+                            unit["value"], energy, _WORKER["radio"],
+                            kwargs=unit["kwargs"],
+                            validate=unit["validate"], cache=cache)
+    if tracer is not None and _WORKER["shard_dir"] is not None:
+        append_shard(tracer.records(),
+                     shard_path(_WORKER["shard_dir"], os.getpid()))
+        tracer.clear()
+    return json.dumps({
+        "cell": unit["cell"],
+        "worker": os.getpid(),
+        "row": {
+            "param_name": row.param_name,
+            "param_value": row.param_value,
+            "algorithm": row.algorithm,
+            "mean_volume_gb": row.mean_volume_gb,
+            "std_volume_gb": row.std_volume_gb,
+            "mean_time_s": row.mean_time_s,
+            "std_time_s": row.std_time_s,
+            "n_instances": row.n_instances,
+            "perf": row.perf,
+        },
+        "cache": cache.stats() if cache is not None else None,
+    })
+
+
+def run_sweep_parallel(
+        config: ExperimentConfig,
+        instances: Sequence[SensorNetwork],
+        algorithms: Sequence[AlgoSpec],
+        param_name: str,
+        param_values: Sequence[float],
+        *,
+        make_energy: Callable[[ExperimentConfig, float], EnergyModel],
+        make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
+        validate: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+        trace: Optional[TracerLike] = None,
+        jobs: int = 2,
+        cache: bool = True,
+        shard_dir: Optional[str] = None) -> SweepResult:
+    """Run one sweep on a process pool; same contract as ``run_sweep``.
+
+    Callers normally reach this through ``run_sweep(..., jobs=N)``.
+    ``shard_dir`` names a directory to keep the per-worker trace shards
+    in (default: a temporary directory deleted after the merge).
+    """
+    if jobs < 2:
+        raise ValueError(
+            f"run_sweep_parallel needs jobs >= 2, got {jobs} "
+            f"(use run_sweep for the in-process path)")
+
+    cells = sweep_cells(algorithms, param_values)
+    if not cells:
+        return SweepResult(config=config, rows=[], meta={"jobs": jobs})
+    units = [
+        _encode_unit(index, param_name, value, spec,
+                     make_energy(config, value),
+                     make_kwargs(config, value, spec), validate)
+        for index, value, spec in cells
+    ]
+
+    with activated(trace) as active:
+        tracing = bool(getattr(active, "enabled", False))
+        own_shard_dir = shard_dir is None
+        resolved_shard_dir: Optional[str] = None
+        if tracing:
+            resolved_shard_dir = (tempfile.mkdtemp(prefix="repro-shards-")
+                                  if own_shard_dir else str(shard_dir))
+
+        results: Dict[int, SweepRow] = {}
+        worker_cache_stats: Dict[int, Dict[str, int]] = {}
+        next_to_report = 0
+        with span("parallel.sweep", cells=len(cells), jobs=jobs):
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(units)),
+                    initializer=_init_worker,
+                    initargs=(json.dumps(config.as_dict()),
+                              networks_to_json(instances),
+                              cache, tracing, resolved_shard_dir)) as pool:
+                futures = [pool.submit(_plan_cell, unit) for unit in units]
+                for future in as_completed(futures):
+                    payload = json.loads(future.result())
+                    results[payload["cell"]] = SweepRow(**payload["row"])
+                    if payload["cache"] is not None:
+                        worker_cache_stats[payload["worker"]] = \
+                            payload["cache"]
+                    # Report finished cells in canonical order only — the
+                    # contiguous prefix — so the progress stream is
+                    # deterministic no matter the completion order.
+                    while progress is not None and next_to_report in results:
+                        index, value, spec = cells[next_to_report]
+                        progress(format_progress(
+                            index, len(cells), param_name, value,
+                            results[index]))
+                        next_to_report += 1
+
+        rows = [results[index] for index in range(len(cells))]
+        meta: Dict[str, Any] = {"jobs": jobs}
+        if cache:
+            meta["cache"] = {
+                "hits": sum(s["hits"] for s in worker_cache_stats.values()),
+                "misses": sum(s["misses"]
+                              for s in worker_cache_stats.values()),
+            }
+        if resolved_shard_dir is not None:
+            merged = merge_trace_shards(resolved_shard_dir)
+            if isinstance(active, Tracer):
+                active.ingest(merged)
+            meta["trace_records"] = len(merged)
+            if own_shard_dir:
+                shutil.rmtree(resolved_shard_dir, ignore_errors=True)
+    return SweepResult(config=config, rows=rows, meta=meta)
+
+
+__all__ = ["run_sweep_parallel"]

@@ -5,6 +5,26 @@ the runner plans a tour, measures wall-clock planning time (the quantity in
 the paper's Figs. 3(b)/4(b)/5(b)), optionally cross-validates the tour
 against the execution simulator, and aggregates means/standard deviations
 across instances.
+
+Execution engines
+-----------------
+``jobs=1`` (default) plans every cell sequentially in-process; ``jobs=N``
+fans the cells out to a process pool (:mod:`repro.experiments.parallel`)
+and merges the per-cell rows back in deterministic cell order.  Both
+paths run the *same* per-cell function (:func:`_run_cell`), so every
+deterministic field of every :class:`SweepRow` — volumes, instance
+counts, the kernel work counters in ``perf`` — is bitwise-identical
+regardless of ``jobs``; only the measured wall-clock fields vary run to
+run.  See ``docs/experiments.md``.
+
+Both paths also share the per-process
+:class:`~repro.experiments.artifacts.ArtifactCache` (``cache=True``,
+default): δ-grid sites, conflict lists, and auxiliary graphs are built
+once per (instance, δ) and reused across cells, so e.g. a capacity sweep
+pays for its geometry once.  Cache lookups happen *outside* the per-cell
+timer — with the cache on, ``mean_time_s`` is pure planning time over
+prebuilt geometry; run ``cache=False`` to measure the paper-literal
+geometry-included time.
 """
 
 from __future__ import annotations
@@ -16,6 +36,7 @@ import numpy as np
 
 from repro.core.planner import plan_tour
 from repro.energy.model import EnergyModel
+from repro.experiments.artifacts import ArtifactCache, resolve_cache
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
 from repro.obs.tracer import TracerLike, activated, span
@@ -24,6 +45,10 @@ from repro.utils.timing import Timer
 
 #: MB per GB — figure axes in the paper are GB.
 MB_PER_GB = 1000.0
+
+#: ``perf`` key prefix holding measured wall-clock (excluded from
+#: determinism comparisons alongside ``mean_time_s``/``std_time_s``).
+PERF_SECONDS_PREFIX = "seconds."
 
 
 @dataclass(frozen=True)
@@ -66,6 +91,25 @@ class SweepRow:
             "n_instances": self.n_instances,
         }
 
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """The run-to-run reproducible view of the row.
+
+        Drops the measured wall-clock fields (``mean_time_s``,
+        ``std_time_s``) and the ``seconds.*`` perf means, keeping
+        everything the planners compute deterministically: volumes,
+        instance counts, engine name, and the kernel work counters.
+        Two sweeps of the same campaign — any ``jobs``, any worker
+        completion order, cache on or off — must agree *bitwise* on this
+        view; the parallel-equality tests and the CI job compare it.
+        """
+        det = self.as_dict()
+        del det["mean_time_s"], det["std_time_s"]
+        if self.perf is not None:
+            det["perf"] = {
+                k: v for k, v in self.perf.items()
+                if not k.startswith(PERF_SECONDS_PREFIX)}
+        return det
+
 
 @dataclass
 class SweepResult:
@@ -73,6 +117,9 @@ class SweepResult:
 
     config: ExperimentConfig
     rows: List[SweepRow]
+    #: Execution metadata (jobs, artifact-cache hit/miss counters, trace
+    #: shard count) — diagnostic only, never serialised into the CSVs.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def series(self, algorithm: str) -> List[SweepRow]:
         """The rows of one algorithm, ordered by parameter value."""
@@ -108,6 +155,31 @@ def _flatten_perf(perf: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
     return flat
 
 
+def sweep_cells(algorithms: Sequence[AlgoSpec],
+                param_values: Sequence[float]) -> List[tuple]:
+    """The sweep's cell list in canonical order: ``(index, value, spec)``.
+
+    Canonical order is the sequential runner's loop nesting — parameter
+    values outer, algorithms inner — and defines both the row order of
+    :class:`SweepResult` and the progress-callback order under every
+    execution engine.
+    """
+    cells = []
+    for value in param_values:
+        for spec in algorithms:
+            cells.append((len(cells), value, spec))
+    return cells
+
+
+def format_progress(cell_index: int, total: int, param_name: str,
+                    value: float, row: SweepRow) -> str:
+    """One ``[k/total]``-prefixed status line for a finished cell."""
+    return (f"[{cell_index + 1}/{total}] "
+            f"{param_name}={value:g} {row.algorithm}: "
+            f"{row.mean_volume_gb:.2f} GB, "
+            f"{row.mean_time_s:.2f} s")
+
+
 def run_sweep(config: ExperimentConfig,
               instances: Sequence[SensorNetwork],
               algorithms: Sequence[AlgoSpec],
@@ -118,7 +190,9 @@ def run_sweep(config: ExperimentConfig,
               make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
               validate: bool = True,
               progress: Optional[Callable[[str], None]] = None,
-              trace: Optional[TracerLike] = None) -> SweepResult:
+              trace: Optional[TracerLike] = None,
+              jobs: int = 1,
+              cache: Any = True) -> SweepResult:
     """Run a full sweep and aggregate per-cell statistics.
 
     Parameters
@@ -136,56 +210,95 @@ def run_sweep(config: ExperimentConfig,
         Maps (config, param value) to the :class:`EnergyModel` for a cell.
     make_kwargs:
         Maps (config, param value, spec) to planner kwargs for a cell.
+        Under ``jobs > 1`` the returned kwargs must be JSON-serialisable
+        (they are shipped to worker processes as data, not pickled).
     validate:
         Cross-validate every planned tour against the simulator (cheap
         relative to planning; catches planner regressions during sweeps).
     progress:
-        Optional callback receiving one status line per cell.
+        Optional callback receiving one ``[k/total]``-prefixed status
+        line per cell, always in canonical cell order (the parallel
+        executor buffers out-of-order completions).
     trace:
         Optional :class:`repro.obs.Tracer` activated for the whole sweep;
         every cell gets a ``runner.cell`` span wrapping its instance loop,
-        with the planner's own spans nested underneath.
+        with the planner's own spans nested underneath.  Under
+        ``jobs > 1`` workers record spans into JSONL shards which are
+        merged into this tracer after the sweep
+        (:mod:`repro.obs.shards`).
+    jobs:
+        Worker process count; ``1`` runs in-process.
+    cache:
+        ``True`` (default) — memoize per-(instance, δ) geometry across
+        cells in an :class:`~repro.experiments.artifacts.ArtifactCache`
+        (one per process); ``False`` — rebuild per cell, paper-literal;
+        or a caller-owned cache instance (sequential path only).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        from repro.experiments.parallel import run_sweep_parallel
+        return run_sweep_parallel(
+            config, instances, algorithms, param_name, param_values,
+            make_energy=make_energy, make_kwargs=make_kwargs,
+            validate=validate, progress=progress, trace=trace, jobs=jobs,
+            cache=bool(cache))
+
     radio = config.radio_model()
+    artifact_cache = resolve_cache(cache)
+    cells = sweep_cells(algorithms, param_values)
     rows: List[SweepRow] = []
     with activated(trace):
-        for value in param_values:
+        for index, value, spec in cells:
             energy = make_energy(config, value)
-            for spec in algorithms:
-                with span("runner.cell", param=param_name,
-                          value=float(value), algorithm=spec.name):
-                    row = _run_cell(config, instances, spec, param_name,
-                                    value, energy, radio,
-                                    make_kwargs=make_kwargs,
-                                    validate=validate)
-                rows.append(row)
-                if progress is not None:
-                    progress(
-                        f"{param_name}={value:g} {spec.name}: "
-                        f"{row.mean_volume_gb:.2f} GB, "
-                        f"{row.mean_time_s:.2f} s")
-    return SweepResult(config=config, rows=rows)
+            kwargs = make_kwargs(config, value, spec)
+            with span("runner.cell", cell=index, param=param_name,
+                      value=float(value), algorithm=spec.name):
+                row = _run_cell(instances, spec, param_name, value,
+                                energy, radio, kwargs=kwargs,
+                                validate=validate, cache=artifact_cache)
+            rows.append(row)
+            if progress is not None:
+                progress(format_progress(index, len(cells), param_name,
+                                         value, row))
+    meta: Dict[str, Any] = {"jobs": 1}
+    if artifact_cache is not None:
+        meta["cache"] = artifact_cache.stats()
+    return SweepResult(config=config, rows=rows, meta=meta)
 
 
-def _run_cell(config: ExperimentConfig,
-              instances: Sequence[SensorNetwork],
+def _run_cell(instances: Sequence[SensorNetwork],
               spec: AlgoSpec,
               param_name: str,
               value: float,
               energy: EnergyModel,
               radio: Any,
               *,
-              make_kwargs: Callable[[ExperimentConfig, float, AlgoSpec], Dict[str, Any]],
-              validate: bool) -> SweepRow:
-    """Plan every instance of one (algorithm, parameter value) cell."""
+              kwargs: Dict[str, Any],
+              validate: bool,
+              cache: Optional[ArtifactCache] = None) -> SweepRow:
+    """Plan every instance of one (algorithm, parameter value) cell.
+
+    This is the unit of work both execution engines share: the
+    sequential runner calls it inline, the parallel executor calls it
+    inside each worker — which is what keeps the timing semantics
+    identical (the :class:`Timer` wraps only the planning call, never
+    queueing or transport) and the deterministic row fields bitwise-equal
+    across ``jobs`` settings.
+    """
     volumes, times = [], []
     perf_acc: Dict[str, List[float]] = {}
     perf_engine = None
-    kwargs = make_kwargs(config, value, spec)
     for net in instances:
+        call_kwargs = kwargs
+        if cache is not None:
+            # Outside the timer: cached sweeps report pure planning time
+            # over prebuilt geometry (see the module docstring).
+            call_kwargs = cache.augment_kwargs(net, energy, radio,
+                                               spec.method, kwargs)
         with Timer() as t:
             tour = plan_tour(net, energy, radio,
-                             method=spec.method, **kwargs)
+                             method=spec.method, **call_kwargs)
         if validate:
             cross_validate(tour, radio)
         volumes.append(tour.collected_volume / MB_PER_GB)
@@ -204,12 +317,27 @@ def _run_cell(config: ExperimentConfig,
         param_value=float(value),
         algorithm=spec.name,
         mean_volume_gb=float(np.mean(volumes)),
-        std_volume_gb=float(np.std(volumes)),
+        std_volume_gb=_population_std(volumes),
         mean_time_s=float(np.mean(times)),
-        std_time_s=float(np.std(times)),
+        std_time_s=_population_std(times),
         n_instances=len(instances),
         perf=perf_mean)
 
 
+def _population_std(values: Sequence[float]) -> float:
+    """Population standard deviation (``np.std`` with ``ddof=0``).
+
+    The paper averages each data point over its instance set and reports
+    dispersion over that *full population* of instances, so ``ddof=0``
+    (divide by n) is the right estimator — not the sample ``ddof=1``.
+    A single-instance cell has no dispersion by definition: return an
+    exact ``0.0`` instead of trusting the float arithmetic to cancel.
+    """
+    if len(values) == 1:
+        return 0.0
+    return float(np.std(np.asarray(values, dtype=float), ddof=0))
+
+
 __all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
-           "_flatten_perf"]
+           "PERF_SECONDS_PREFIX", "sweep_cells", "format_progress",
+           "_flatten_perf", "_run_cell", "_population_std"]

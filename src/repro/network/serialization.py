@@ -9,7 +9,7 @@ planners on byte-identical inputs.  The schema is a flat JSON object with a
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -63,7 +63,16 @@ def network_from_dict(data: Dict[str, Any]) -> SensorNetwork:
 
 
 def network_to_json(network: SensorNetwork, *, indent: int | None = None) -> str:
-    """Serialise *network* to a JSON string."""
+    """Serialise *network* to a JSON string.
+
+    The JSON round-trip is *exact*: ``json.dumps`` emits ``repr``-style
+    shortest floats and ``json.loads`` parses them back to the identical
+    IEEE-754 doubles, so ``network_from_json(network_to_json(net))``
+    reproduces every position/volume bitwise.  The parallel sweep
+    executor relies on this to keep worker outputs identical to the
+    in-process path; ``tests/test_network_serialization.py`` pins it for
+    every generator scenario.
+    """
     return json.dumps(network_to_dict(network), indent=indent)
 
 
@@ -76,10 +85,28 @@ def network_from_json(text: str) -> SensorNetwork:
     return network_from_dict(payload)
 
 
+def networks_to_json(networks: Sequence[SensorNetwork]) -> str:
+    """Serialise an instance set to one JSON array (worker transport)."""
+    return json.dumps([network_to_dict(net) for net in networks])
+
+
+def networks_from_json(text: str) -> List[SensorNetwork]:
+    """Inverse of :func:`networks_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise InvalidParameterError("instance-set payload must be a list")
+    return [network_from_dict(item) for item in payload]
+
+
 __all__ = [
     "SCHEMA_VERSION",
     "network_to_dict",
     "network_from_dict",
     "network_to_json",
     "network_from_json",
+    "networks_to_json",
+    "networks_from_json",
 ]

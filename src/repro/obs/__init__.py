@@ -31,6 +31,12 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.shards import (
+    shard_path,
+    append_shard,
+    list_shards,
+    merge_trace_shards,
+)
 from repro.obs.report import SpanStats, summarize, render_table
 
 #: Honour REPRO_TRACE / REPRO_TRACE_FILE the moment the package loads, so
@@ -46,6 +52,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     # export
     "write_jsonl", "read_jsonl", "to_chrome_trace", "write_chrome_trace",
+    # shards
+    "shard_path", "append_shard", "list_shards", "merge_trace_shards",
     # report
     "SpanStats", "summarize", "render_table",
 ]

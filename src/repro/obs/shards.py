@@ -1,0 +1,111 @@
+"""Per-worker trace shards and their merge into one trace.
+
+The parallel sweep executor (:mod:`repro.experiments.parallel`) cannot
+share one :class:`~repro.obs.tracer.Tracer` across processes, so each
+worker appends its finished spans to a private JSONL *shard* file —
+``trace-shard-<worker id>.jsonl`` in a directory the parent owns — and
+the parent merges the shards into a single span-record list after the
+sweep completes.  The merge:
+
+* orders shards deterministically — by the smallest ``cell`` attribute
+  recorded in the shard (every ``runner.cell`` span carries its cell
+  index), falling back to the shard filename — so the merged trace does
+  not depend on worker pids or completion order;
+* re-identifies every span into one contiguous id space and remaps
+  parent links shard-locally, so ids never collide across workers;
+* preserves each shard's internal record order (children before parents,
+  the Chrome ``trace_event`` completion order the exporters expect).
+
+Timestamps stay worker-relative (each worker has its own tracer epoch);
+spans keep the ``worker`` attribute the executor stamps on them so a
+flame-chart viewer can still group lanes per process.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.export import read_jsonl, write_jsonl
+
+#: Shard filename pattern inside a shard directory.
+SHARD_PREFIX = "trace-shard-"
+SHARD_SUFFIX = ".jsonl"
+
+PathLike = Union[str, Path]
+
+
+def shard_path(directory: PathLike, worker_id: Union[int, str]) -> Path:
+    """The shard file for *worker_id* inside *directory*."""
+    return Path(directory) / f"{SHARD_PREFIX}{worker_id}{SHARD_SUFFIX}"
+
+
+def append_shard(records: Iterable[Dict[str, Any]], path: PathLike) -> int:
+    """Append span *records* to the shard at *path*; returns count written.
+
+    Workers call this once per completed cell (records are flushed from
+    the worker tracer afterwards), so a crashed worker still leaves the
+    spans of every cell it finished.
+    """
+    n = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        n = write_jsonl(records, fh)
+    return n
+
+
+def list_shards(directory: PathLike) -> List[Path]:
+    """All shard files in *directory*, sorted by filename."""
+    return sorted(Path(directory).glob(f"{SHARD_PREFIX}*{SHARD_SUFFIX}"))
+
+
+def _shard_sort_key(records: List[Dict[str, Any]], path: Path) -> tuple:
+    """Deterministic shard order: smallest recorded cell index, then name."""
+    cells = [rec["attrs"]["cell"] for rec in records
+             if isinstance(rec.get("attrs"), dict)
+             and isinstance(rec["attrs"].get("cell"), int)]
+    return (min(cells) if cells else -1, path.name)
+
+
+def merge_trace_shards(
+        shards: Union[PathLike, Sequence[PathLike]]) -> List[Dict[str, Any]]:
+    """Merge shard files into one re-identified span-record list.
+
+    Parameters
+    ----------
+    shards:
+        Either a shard directory (all ``trace-shard-*.jsonl`` files in it
+        are merged) or an explicit sequence of shard paths.
+
+    Returns
+    -------
+    list of span-record dicts, ready for :func:`repro.obs.export.write_jsonl`,
+    :func:`repro.obs.export.to_chrome_trace`, or
+    :meth:`repro.obs.tracer.Tracer.ingest`.
+    """
+    if isinstance(shards, (str, Path)) and Path(shards).is_dir():
+        paths = list_shards(shards)
+    else:
+        paths = [Path(p) for p in shards]  # type: ignore[union-attr]
+    loaded = [(path, read_jsonl(path)) for path in paths]
+    loaded.sort(key=lambda pair: _shard_sort_key(pair[1], pair[0]))
+
+    merged: List[Dict[str, Any]] = []
+    next_id = 0
+    for _path, records in loaded:
+        id_map: Dict[int, int] = {}
+        for rec in records:
+            copy = dict(rec)
+            old_id = rec.get("id")
+            copy["id"] = next_id
+            if isinstance(old_id, int):
+                id_map[old_id] = next_id
+            next_id += 1
+            parent = rec.get("parent")
+            if isinstance(parent, int):
+                copy["parent"] = id_map.get(parent, None)
+            merged.append(copy)
+    return merged
+
+
+__all__ = ["SHARD_PREFIX", "SHARD_SUFFIX", "shard_path", "append_shard",
+           "list_shards", "merge_trace_shards"]

@@ -62,7 +62,7 @@ class _NullSpan:
     def __exit__(self, *exc_info: object) -> None:
         return None
 
-    def set(self, **attrs: Any) -> "_NullSpan":
+    def set(self, /, **attrs: Any) -> "_NullSpan":
         """Ignore attributes (chainable, like :meth:`Span.set`)."""
         return self
 
@@ -78,7 +78,7 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:
+    def span(self, name: str, /, **attrs: Any) -> _NullSpan:
         """Return the shared no-op span (no allocation, nothing recorded)."""
         return NULL_SPAN
 
@@ -110,7 +110,7 @@ class Span:
         self.start_s = 0.0
         self._t0 = 0.0
 
-    def set(self, **attrs: Any) -> "Span":
+    def set(self, /, **attrs: Any) -> "Span":
         """Attach extra attributes to the span (chainable)."""
         self.attrs.update(attrs)
         return self
@@ -159,8 +159,12 @@ class Tracer:
         self._stack: List[Span] = []
         self._next_id = 0
 
-    def span(self, name: str, **attrs: Any) -> Span:
-        """A new live span; ``with tracer.span("mod.op", key=val): ...``."""
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        """A new live span; ``with tracer.span("mod.op", key=val): ...``.
+
+        ``name`` is positional-only so attribute keys named ``self`` or
+        ``name`` cannot collide with the method's own parameters.
+        """
         return Span(self, name, attrs)
 
     # -- Span protocol ------------------------------------------------- #
@@ -203,6 +207,36 @@ class Tracer:
         self._records.clear()
         self.dropped = 0
 
+    def ingest(self, records: List[Dict[str, Any]]) -> int:
+        """Append pre-recorded span dicts (e.g. merged worker shards).
+
+        Every ingested record is re-identified into this tracer's id space
+        and parent links are remapped alongside, so ingested spans can
+        never collide with locally recorded ones.  Records keep their own
+        ``ts_s`` timebase (worker-relative offsets); consumers that care
+        about cross-process alignment should group by the ``worker``
+        attribute the parallel sweep executor stamps on shard spans.
+        Returns the number of records ingested.
+        """
+        id_map: Dict[int, int] = {}
+        n = 0
+        for rec in records:
+            new_id = self._next_id
+            self._next_id += 1
+            old_id = rec.get("id")
+            if isinstance(old_id, int):
+                id_map[old_id] = new_id
+            copy = dict(rec)
+            copy["id"] = new_id
+            parent = rec.get("parent")
+            if isinstance(parent, int):
+                copy["parent"] = id_map.get(parent, None)
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(copy)
+            n += 1
+        return n
+
 
 #: Anything a ``trace=`` parameter accepts.
 TracerLike = Union[Tracer, NullTracer]
@@ -223,7 +257,7 @@ def set_tracer(tracer: Optional[TracerLike]) -> TracerLike:
     return previous
 
 
-def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+def span(name: str, /, **attrs: Any) -> Union[Span, _NullSpan]:
     """A span on the active tracer — the one-liner instrumented sites use.
 
     When tracing is disabled this resolves to ``NullTracer.span`` and

@@ -101,6 +101,55 @@ class TestRunner:
                   make_kwargs=lambda cfg, v, s: dict(s.kwargs),
                   progress=lines.append)
         assert len(lines) == 1
+        assert lines[0].startswith("[1/1] capacity=15000 Benchmark:")
+
+    def test_progress_counter_counts_all_cells(self, tiny_config):
+        lines = []
+        instances = make_instances(tiny_config)
+        run_sweep(tiny_config, instances,
+                  [AlgoSpec("Benchmark", "benchmark", {}),
+                   AlgoSpec("Bench 2", "benchmark", {})],
+                  param_name="capacity", param_values=(1.5e4, 3e4),
+                  make_energy=lambda cfg, v: cfg.energy_model(capacity=v),
+                  make_kwargs=lambda cfg, v, s: dict(s.kwargs),
+                  progress=lines.append)
+        assert [line.split()[0] for line in lines] == \
+            ["[1/4]", "[2/4]", "[3/4]", "[4/4]"]
+
+    def test_std_is_population_ddof0(self, tiny_config):
+        # The paper reports dispersion over the full instance population,
+        # so the runner must use np.std(..., ddof=0) — pin it against an
+        # accidental switch to the sample estimator.
+        instances = make_instances(tiny_config)
+        result = run_sweep(
+            tiny_config, instances,
+            [AlgoSpec("Benchmark", "benchmark", {})],
+            param_name="capacity", param_values=(1.5e4,),
+            make_energy=lambda cfg, v: cfg.energy_model(capacity=v),
+            make_kwargs=lambda cfg, v, s: dict(s.kwargs), cache=False)
+        radio = tiny_config.radio_model()
+        energy = tiny_config.energy_model(capacity=1.5e4)
+        from repro.core.planner import plan_tour
+        from repro.experiments.runner import MB_PER_GB
+        volumes = [plan_tour(net, energy, radio,
+                             method="benchmark").collected_volume / MB_PER_GB
+                   for net in instances]
+        row = result.rows[0]
+        assert row.std_volume_gb == float(np.std(volumes, ddof=0))
+        assert row.std_volume_gb != float(np.std(volumes, ddof=1))
+
+    def test_single_instance_std_exactly_zero(self, tiny_config):
+        instances = make_instances(tiny_config)[:1]
+        result = run_sweep(
+            tiny_config, instances,
+            [AlgoSpec("Benchmark", "benchmark", {})],
+            param_name="capacity", param_values=(1.5e4,),
+            make_energy=lambda cfg, v: cfg.energy_model(capacity=v),
+            make_kwargs=lambda cfg, v, s: dict(s.kwargs))
+        row = result.rows[0]
+        assert row.n_instances == 1
+        assert row.std_volume_gb == 0.0
+        assert row.std_time_s == 0.0
 
     def test_perf_aggregation_includes_nested_timers(self, tiny_config):
         # The kernel's perf dict nests {"seconds": {...}}; the runner must

@@ -1,0 +1,383 @@
+"""Tests for the parallel sweep executor, artifact cache, and trace shards.
+
+The load-bearing contract pinned here: ``run_sweep(..., jobs=N)`` returns
+rows whose :meth:`SweepRow.deterministic_dict` view is bitwise-identical
+to the in-process ``jobs=1`` path, for every figure runner, any worker
+count, and cache on or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import plan_algorithm1
+from repro.core.auxgraph import build_auxiliary_graph
+from repro.core.hovering import build_hovering_sites
+from repro.experiments.artifacts import ArtifactCache, resolve_cache
+from repro.experiments.config import reduced_settings
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.instances import make_instances
+from repro.experiments.parallel import _encode_unit, run_sweep_parallel
+from repro.experiments.runner import (
+    AlgoSpec,
+    SweepRow,
+    format_progress,
+    run_sweep,
+    sweep_cells,
+)
+from repro.obs.shards import (
+    append_shard,
+    list_shards,
+    merge_trace_shards,
+    shard_path,
+)
+from repro.obs.tracer import Tracer, activated
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """Small enough that each figure sweep runs in a couple of seconds."""
+    return reduced_settings().scaled(
+        n_nodes=22, n_instances=2,
+        capacity_sweep=(1.5e4, 3e4),
+        delta_sweep=(25.0, 40.0),
+        delta=25.0, k_values=(2,), seed=11)
+
+
+def det_rows(result):
+    return [row.deterministic_dict() for row in result.rows]
+
+
+@pytest.fixture(scope="module")
+def fig3_seq(tiny_config):
+    return run_fig3(tiny_config, n_restarts=1, jobs=1)
+
+
+class TestParallelEquality:
+    def test_fig3_jobs2_matches_sequential(self, tiny_config, fig3_seq):
+        par = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        assert det_rows(par) == det_rows(fig3_seq)
+        assert par.meta["jobs"] == 2
+        assert fig3_seq.meta["jobs"] == 1
+
+    def test_fig4_jobs2_matches_sequential(self, tiny_config):
+        seq = run_fig4(tiny_config, jobs=1)
+        par = run_fig4(tiny_config, jobs=2)
+        assert det_rows(par) == det_rows(seq)
+
+    def test_fig5_jobs3_matches_sequential(self, tiny_config):
+        seq = run_fig5(tiny_config, jobs=1)
+        par = run_fig5(tiny_config, jobs=3)
+        assert det_rows(par) == det_rows(seq)
+
+    def test_cache_off_matches_cache_on(self, tiny_config, fig3_seq):
+        uncached = run_fig3(tiny_config, n_restarts=1, jobs=1, cache=False)
+        assert det_rows(uncached) == det_rows(fig3_seq)
+        assert "cache" not in uncached.meta
+
+    def test_parallel_cache_off_matches(self, tiny_config, fig3_seq):
+        par = run_fig3(tiny_config, n_restarts=1, jobs=2, cache=False)
+        assert det_rows(par) == det_rows(fig3_seq)
+        assert "cache" not in par.meta
+
+    def test_sequential_cache_reports_hits(self, tiny_config, fig3_seq):
+        # Fig. 3 sweeps capacity at fixed δ: after the first capacity the
+        # geometry of every instance must come from the cache.
+        stats = fig3_seq.meta["cache"]
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0
+
+    def test_parallel_cache_stats_merged(self, tiny_config):
+        par = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        assert par.meta["cache"]["misses"] > 0
+
+
+class TestDeterministicDict:
+    def test_excludes_wall_clock(self):
+        row = SweepRow("capacity", 1.0, "A", 2.0, 0.1, 3.0, 0.2, 4,
+                       perf={"engine": "kernel", "sites_rescored": 7.0,
+                             "seconds.rescore": 0.5})
+        det = row.deterministic_dict()
+        assert "mean_time_s" not in det
+        assert "std_time_s" not in det
+        assert det["mean_volume_gb"] == 2.0
+        assert det["perf"] == {"engine": "kernel", "sites_rescored": 7.0}
+
+    def test_no_perf(self):
+        row = SweepRow("capacity", 1.0, "A", 2.0, 0.1, 3.0, 0.2, 4)
+        assert "perf" not in row.deterministic_dict()
+
+
+class TestCells:
+    def test_canonical_order_values_outer(self):
+        specs = [AlgoSpec("A", "benchmark", {}), AlgoSpec("B", "benchmark", {})]
+        cells = sweep_cells(specs, (10.0, 20.0))
+        assert [(i, v, s.name) for i, v, s in cells] == [
+            (0, 10.0, "A"), (1, 10.0, "B"), (2, 20.0, "A"), (3, 20.0, "B")]
+
+    def test_format_progress_counter(self):
+        row = SweepRow("capacity", 1.5e4, "Algorithm 1",
+                       5.25, 0.0, 0.125, 0.0, 2)
+        line = format_progress(2, 8, "capacity", 1.5e4, row)
+        assert line.startswith("[3/8] capacity=15000 Algorithm 1:")
+        assert "5.25 GB" in line
+
+
+class TestProgressParallel:
+    def test_lines_arrive_in_canonical_order(self, tiny_config):
+        lines = []
+        result = run_fig3(tiny_config, n_restarts=1, jobs=2,
+                          progress=lines.append)
+        cells = len(result.rows)
+        assert len(lines) == cells
+        for k, (line, row) in enumerate(zip(lines, result.rows)):
+            assert line.startswith(f"[{k + 1}/{cells}] ")
+            assert row.algorithm in line
+
+
+class TestTraceShardsIntegration:
+    def test_worker_spans_merge_into_parent(self, tiny_config):
+        tracer = Tracer()
+        with activated(tracer):
+            result = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        records = tracer.records()
+        cell_spans = [r for r in records if r["name"] == "runner.cell"]
+        assert len(cell_spans) == len(result.rows)
+        assert sorted(r["attrs"]["cell"] for r in cell_spans) == \
+            list(range(len(result.rows)))
+        assert all("worker" in r["attrs"] for r in cell_spans)
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids))
+        id_set = set(ids)
+        for r in records:
+            assert r["parent"] is None or r["parent"] in id_set
+        assert result.meta["trace_records"] == len(
+            [r for r in records if r["name"] != "parallel.sweep"])
+
+    def test_no_tracer_no_trace_meta(self, tiny_config):
+        result = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        assert "trace_records" not in result.meta
+
+
+class TestShardsUnit:
+    @staticmethod
+    def _rec(rid, parent, name, **attrs):
+        return {"id": rid, "parent": parent, "name": name,
+                "t_start": 0.0, "t_end": 1.0, "attrs": attrs}
+
+    def test_shard_path_naming(self, tmp_path):
+        path = shard_path(tmp_path, 4242)
+        assert path.name == "trace-shard-4242.jsonl"
+        assert path.parent == tmp_path
+
+    def test_append_and_list(self, tmp_path):
+        path = shard_path(tmp_path, 1)
+        append_shard([self._rec(0, None, "runner.cell", cell=0)], path)
+        append_shard([self._rec(1, None, "runner.cell", cell=1)], path)
+        assert list_shards(tmp_path) == [path]
+        merged = merge_trace_shards(tmp_path)
+        assert [r["attrs"]["cell"] for r in merged] == [0, 1]
+
+    def test_merge_orders_shards_by_min_cell(self, tmp_path):
+        # Worker pids give no ordering guarantee; the merge must sort by
+        # the smallest cell index each shard saw.
+        append_shard([self._rec(0, None, "runner.cell", cell=3)],
+                     shard_path(tmp_path, 111))
+        append_shard([self._rec(0, None, "runner.cell", cell=0)],
+                     shard_path(tmp_path, 999))
+        merged = merge_trace_shards(tmp_path)
+        assert [r["attrs"]["cell"] for r in merged] == [0, 3]
+
+    def test_merge_rebases_ids_and_parents(self, tmp_path):
+        append_shard([self._rec(0, None, "runner.cell", cell=0),
+                      self._rec(1, 0, "alg1.reduction")],
+                     shard_path(tmp_path, 1))
+        append_shard([self._rec(0, None, "runner.cell", cell=1),
+                      self._rec(1, 0, "alg1.reduction")],
+                     shard_path(tmp_path, 2))
+        merged = merge_trace_shards(tmp_path)
+        ids = [r["id"] for r in merged]
+        assert len(set(ids)) == 4
+        for child in (r for r in merged if r["parent"] is not None):
+            parent = next(r for r in merged if r["id"] == child["parent"])
+            assert parent["name"] == "runner.cell"
+
+    def test_merge_accepts_explicit_paths(self, tmp_path):
+        a = shard_path(tmp_path, 1)
+        append_shard([self._rec(0, None, "runner.cell", cell=0)], a)
+        assert len(merge_trace_shards([a])) == 1
+
+    def test_merge_empty_dir(self, tmp_path):
+        assert merge_trace_shards(tmp_path) == []
+
+
+class TestWorkUnits:
+    def test_non_json_kwargs_rejected(self):
+        spec = AlgoSpec("Alg 2", "algorithm2", {})
+        energy = reduced_settings().energy_model()
+        with pytest.raises(TypeError, match="non-serialisable"):
+            _encode_unit(0, "capacity", 1.5e4, spec, energy,
+                         {"delta": 25.0, "rng": np.random.default_rng(0)},
+                         True)
+
+
+class TestEngineSelection:
+    def test_run_sweep_rejects_jobs_zero(self, tiny_config):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(tiny_config, [], [], "capacity", (),
+                      make_energy=lambda c, v: c.energy_model(),
+                      make_kwargs=lambda c, v, s: {}, jobs=0)
+
+    def test_parallel_rejects_jobs_one(self, tiny_config):
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            run_sweep_parallel(tiny_config, [], [], "capacity", (),
+                               make_energy=lambda c, v: c.energy_model(),
+                               make_kwargs=lambda c, v, s: {}, jobs=1)
+
+    def test_parallel_empty_cells(self, tiny_config):
+        result = run_sweep_parallel(
+            tiny_config, [], [], "capacity", (),
+            make_energy=lambda c, v: c.energy_model(),
+            make_kwargs=lambda c, v, s: {}, jobs=2)
+        assert result.rows == []
+
+
+class TestConfigTransport:
+    def test_round_trip(self, tiny_config):
+        from repro.experiments.config import ExperimentConfig
+        back = ExperimentConfig.from_dict(tiny_config.as_dict())
+        assert back == tiny_config
+
+    def test_tuples_restored(self, tiny_config):
+        from repro.experiments.config import ExperimentConfig
+        data = tiny_config.as_dict()
+        assert isinstance(data["capacity_sweep"], list)
+        back = ExperimentConfig.from_dict(data)
+        assert back.capacity_sweep == tiny_config.capacity_sweep
+        assert isinstance(back.capacity_sweep, tuple)
+
+    def test_unknown_key_rejected(self, tiny_config):
+        from repro.experiments.config import ExperimentConfig
+        data = tiny_config.as_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig.from_dict(data)
+
+
+@pytest.fixture(scope="module")
+def cache_setup(tiny_config):
+    net = make_instances(tiny_config)[0]
+    return net, tiny_config.radio_model(), tiny_config.energy_model()
+
+
+class TestArtifactCache:
+    def test_sites_hit_returns_same_object(self, cache_setup):
+        net, radio, _ = cache_setup
+        cache = ArtifactCache()
+        first = cache.sites(net, radio, 25.0)
+        assert cache.sites(net, radio, 25.0) is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "artifacts": 1}
+
+    def test_delta_is_part_of_the_key(self, cache_setup):
+        net, radio, _ = cache_setup
+        cache = ArtifactCache()
+        assert cache.sites(net, radio, 25.0) is not cache.sites(net, radio,
+                                                                40.0)
+        assert cache.misses == 2
+
+    def test_graph_keyed_on_rates_not_capacity(self, cache_setup):
+        net, radio, _ = cache_setup
+        cfg = reduced_settings()
+        cache = ArtifactCache()
+        g_low = cache.graph(net, radio, 25.0, cfg.energy_model(capacity=1e4))
+        g_high = cache.graph(net, radio, 25.0, cfg.energy_model(capacity=9e4))
+        assert g_low is g_high
+
+    def test_conflict_neighbors_depot_entry_empty(self, cache_setup):
+        net, radio, _ = cache_setup
+        cache = ArtifactCache()
+        lists = cache.conflict_neighbors(net, radio, 25.0)
+        sites = cache.sites(net, radio, 25.0)
+        assert len(lists) == sites.n_sites + 1
+        assert lists[0].size == 0
+
+    def test_augment_passthrough_benchmark(self, cache_setup):
+        net, radio, energy = cache_setup
+        cache = ArtifactCache()
+        kwargs = {"prune": True}
+        assert cache.augment_kwargs(net, energy, radio, "benchmark",
+                                    kwargs) is kwargs
+        assert len(cache) == 0
+
+    def test_augment_passthrough_without_delta(self, cache_setup):
+        net, radio, energy = cache_setup
+        cache = ArtifactCache()
+        kwargs = {"K": 2}
+        assert cache.augment_kwargs(net, energy, radio, "algorithm3",
+                                    kwargs) is kwargs
+
+    def test_augment_algorithm2_injects_sites(self, cache_setup):
+        net, radio, energy = cache_setup
+        cache = ArtifactCache()
+        out = cache.augment_kwargs(net, energy, radio, "algorithm2",
+                                   {"delta": 25.0})
+        assert out["sites"] is cache.sites(net, radio, 25.0)
+        assert "graph" not in out
+
+    def test_augment_algorithm1_injects_graph_and_conflicts(self,
+                                                            cache_setup):
+        net, radio, energy = cache_setup
+        cache = ArtifactCache()
+        out = cache.augment_kwargs(net, energy, radio, "algorithm1",
+                                   {"delta": 25.0})
+        assert out["sites"] is cache.sites(net, radio, 25.0)
+        assert out["graph"] is cache.graph(net, radio, 25.0, energy)
+        assert out["conflict_neighbors"] is cache.conflict_neighbors(
+            net, radio, 25.0)
+
+    def test_resolve_cache(self):
+        assert resolve_cache(False) is None
+        assert resolve_cache(None) is None
+        fresh = resolve_cache(True)
+        assert isinstance(fresh, ArtifactCache)
+        owned = ArtifactCache()
+        assert resolve_cache(owned) is owned
+        with pytest.raises(TypeError):
+            resolve_cache("yes")
+
+
+class TestAlgorithm1PrebuiltInputs:
+    def test_prebuilt_inputs_give_identical_tour(self, cache_setup):
+        net, radio, energy = cache_setup
+        fresh = plan_algorithm1(net, energy, radio, delta=25.0,
+                                solver="greedy")
+        sites = build_hovering_sites(net, radio, 25.0)
+        graph = build_auxiliary_graph(sites, energy)
+        cached = plan_algorithm1(net, energy, radio, delta=25.0,
+                                 solver="greedy", sites=sites, graph=graph)
+        assert cached.collected_volume == fresh.collected_volume
+        np.testing.assert_array_equal(cached.points, fresh.points)
+        np.testing.assert_array_equal(cached.collected, fresh.collected)
+
+    def test_graph_with_wrong_rates_rejected(self, cache_setup):
+        net, radio, energy = cache_setup
+        sites = build_hovering_sites(net, radio, 25.0)
+        other = reduced_settings().energy_model()
+        stale = build_auxiliary_graph(
+            sites, type(other)(capacity=other.capacity,
+                               hover_power=other.hover_power * 2,
+                               travel_power=other.travel_power,
+                               speed=other.speed))
+        with pytest.raises(InvalidParameterError, match="energy rates"):
+            plan_algorithm1(net, energy, radio, delta=25.0, graph=stale)
+
+    def test_mismatched_sites_and_graph_rejected(self, cache_setup):
+        net, radio, energy = cache_setup
+        sites = build_hovering_sites(net, radio, 25.0)
+        other_sites = build_hovering_sites(net, radio, 40.0)
+        graph = build_auxiliary_graph(other_sites, energy)
+        with pytest.raises(InvalidParameterError):
+            plan_algorithm1(net, energy, radio, delta=25.0,
+                            sites=sites, graph=graph)

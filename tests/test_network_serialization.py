@@ -4,14 +4,19 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.network.generator import uniform_network
+from repro.network.scenarios import SCENARIOS, make_scenario
 from repro.network.serialization import (
     SCHEMA_VERSION,
     network_from_dict,
     network_from_json,
     network_to_dict,
     network_to_json,
+    networks_from_json,
+    networks_to_json,
 )
 from repro.utils.errors import InvalidParameterError
 
@@ -49,6 +54,46 @@ class TestRoundTrip:
         back = network_from_dict(network_to_dict(net))
         assert back.n_nodes == 0
         np.testing.assert_array_equal(back.depot, [1.0, 2.0])
+
+
+class TestExactRoundTrip:
+    """The JSON round trip is the parallel executor's worker transport.
+
+    ``run_sweep(..., jobs=N)`` ships instances to workers as JSON and
+    relies on the round trip being *bitwise* exact — ``json.dumps`` emits
+    the shortest repr that parses back to the same IEEE-754 double — so
+    worker tours match in-process tours exactly.  Property-test that
+    contract over every generator scenario.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(name=st.sampled_from(sorted(SCENARIOS)),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_every_scenario_round_trips_bitwise(self, name, seed):
+        net = make_scenario(name, seed=seed)
+        back = network_from_json(network_to_json(net))
+        np.testing.assert_array_equal(back.positions, net.positions)
+        np.testing.assert_array_equal(back.volumes, net.volumes)
+        np.testing.assert_array_equal(back.depot, net.depot)
+        assert back.region == net.region
+        assert back.name == net.name
+
+    def test_networks_list_round_trip(self):
+        nets = [uniform_network(8, seed=1), uniform_network(5, seed=2)]
+        back = networks_from_json(networks_to_json(nets))
+        assert len(back) == len(nets)
+        for original, restored in zip(nets, back):
+            np.testing.assert_array_equal(restored.positions,
+                                          original.positions)
+            np.testing.assert_array_equal(restored.volumes,
+                                          original.volumes)
+
+    def test_networks_empty_list(self):
+        assert networks_from_json(networks_to_json([])) == []
+
+    def test_networks_rejects_non_list_payload(self):
+        with pytest.raises(InvalidParameterError):
+            networks_from_json(json.dumps({"schema": SCHEMA_VERSION}))
 
 
 class TestErrorHandling:
