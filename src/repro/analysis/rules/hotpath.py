@@ -10,7 +10,11 @@ rule makes the contract machine-checked: inside code marked
   multi-dimensional shape,
 * ``np.outer`` (always a dense 2-D product),
 * calls to ``pairwise_distances`` (an ``(n, n)`` matrix by definition),
-* broadcasted 2-D temporaries of the form ``a[:, None] <op> b[None, :]``.
+* broadcasted 2-D temporaries of the form ``a[:, None] <op> b[None, :]``,
+* their batched 3-D cousins, e.g. ``a[:, :, None] <op> b[:, None, :]`` —
+  the ``(B, m, n)`` temporaries ``repro.core.batch`` must avoid (its
+  column-stacked kernel carries a leading variant axis, so the old
+  two-axis pattern alone would miss a dense rescore).
 
 Scope markers nest: a ``# repro: hot-path`` comment at module top level
 marks the whole file; a function containing ``# repro: cold-path``
@@ -62,20 +66,33 @@ def _is_hot(line: int, module_hot: bool,
 
 
 def _broadcast_axes(node: ast.expr) -> Optional[str]:
-    """Classify ``x[:, None]`` as ``"col"`` and ``x[None, :]`` as ``"row"``."""
+    """Classify axis-inserting subscripts on 2-D and 3-D operands.
+
+    A trailing new axis (``x[:, None]``, ``x[:, :, None]``) is ``"col"``;
+    a new axis inserted *before* a kept one (``x[None, :]``,
+    ``x[:, None, :]``) is ``"row"``.  A col/row pair inside one binary
+    op is the outer-product broadcast — the ``(m, n)`` or batched
+    ``(B, m, n)`` temporary this rule exists to ban.
+    """
     if not isinstance(node, ast.Subscript):
         return None
     sl = node.slice
-    if not (isinstance(sl, ast.Tuple) and len(sl.elts) == 2):
+    if not (isinstance(sl, ast.Tuple) and len(sl.elts) in (2, 3)):
         return None
-    a, b = sl.elts
-    a_none = isinstance(a, ast.Constant) and a.value is None
-    b_none = isinstance(b, ast.Constant) and b.value is None
-    if isinstance(a, ast.Slice) and b_none:
-        return "col"
-    if a_none and isinstance(b, ast.Slice):
+    kinds = []
+    for elt in sl.elts:
+        if isinstance(elt, ast.Constant) and elt.value is None:
+            kinds.append("none")
+        elif isinstance(elt, ast.Slice):
+            kinds.append("slice")
+        else:
+            return None
+    if "none" not in kinds or "slice" not in kinds:
+        return None
+    last_slice = max(i for i, k in enumerate(kinds) if k == "slice")
+    if any(k == "none" and i < last_slice for i, k in enumerate(kinds)):
         return "row"
-    return None
+    return "col"
 
 
 class HotPathPurityRule:
@@ -128,7 +145,8 @@ class HotPathPurityRule:
         if isinstance(node, ast.BinOp):
             axes = {_broadcast_axes(node.left), _broadcast_axes(node.right)}
             if axes == {"col", "row"}:
-                return "broadcasted 2-D temporary (a[:, None] op b[None, :])"
+                return ("broadcasted dense temporary "
+                        "(a[..., None] op b[..., None, :])")
         return None
 
 

@@ -143,6 +143,17 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         raise InvalidParameterError(
             f"scoring must be one of {SCORING_POLICIES}, got {scoring!r}")
     check_engine(engine)
+    if engine == "batch":
+        if tsp_mode != "insertion":
+            raise InvalidParameterError(
+                "engine='batch' supports tsp_mode='insertion' only "
+                "(the Christofides mode re-solves a TSP per candidate "
+                "and has no stacked formulation)")
+        from repro.core.batch import plan_algorithm2_batch
+        return plan_algorithm2_batch(
+            network, [energy], radio, delta, polish=polish,
+            scoring=scoring, sites=sites,
+            max_iterations=max_iterations)[0]
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
 

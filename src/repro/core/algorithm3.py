@@ -89,6 +89,11 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
     # repro: hot-path  (the greedy loop must stay O(overlap) per step)
     K = check_integer(K, "K", minimum=1)
     check_engine(engine)
+    if engine == "batch":
+        from repro.core.batch import plan_algorithm3_batch
+        return plan_algorithm3_batch(
+            network, [energy], radio, delta, K, polish=polish,
+            sites=sites, max_iterations=max_iterations)[0]
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
 

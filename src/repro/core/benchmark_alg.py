@@ -83,7 +83,9 @@ def plan_benchmark(network: SensorNetwork, energy: EnergyModel,
     rescored = 0
     current = tour_energy(tour)
     with span("benchmark.prune"):
-        if engine == "kernel":
+        if engine in ("kernel", "batch"):
+            # The prune baseline has no stacked formulation; "batch"
+            # falls back to the incremental removal cache.
             cache = PruneCache(dist, volumes, hover_times, eta_h, etat_m)
             cache.set_tour(tour)
             while current > capacity + 1e-9 and len(cache.tour) > 1:

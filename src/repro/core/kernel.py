@@ -66,7 +66,11 @@ from repro.obs.tracer import span
 from repro.utils.errors import InvalidParameterError
 
 #: Engines accepted by the planners' ``engine=`` parameter.
-ENGINES = ("kernel", "dense")
+#: ``"kernel"`` — sparse incremental state (default); ``"dense"`` — legacy
+#: full-recompute baseline; ``"batch"`` — the column-stacked engine of
+#: :mod:`repro.core.batch` (Algorithms 2-3; elsewhere it behaves like
+#: ``"kernel"``).  All three produce bitwise-identical tours.
+ENGINES = ("kernel", "dense", "batch")
 
 
 def check_engine(engine: str) -> str:
@@ -127,7 +131,9 @@ class PlannerKernel:
         self.bandwidth = radio.bandwidth
         self.points_all = np.vstack([sites.network.depot[None, :],
                                      sites.points])
-        self._sparse = self.engine == "kernel"
+        # "batch" reaching a scalar PlannerKernel (e.g. through planners
+        # that have no stacked formulation) behaves exactly like "kernel".
+        self._sparse = self.engine in ("kernel", "batch")
         self.csr: Optional[SparseCoverage] = (
             SparseCoverage.from_matrix(sites.cov_matrix)
             if self._sparse else None)

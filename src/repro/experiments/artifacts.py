@@ -21,6 +21,13 @@ tours — ``tests/test_experiments_parallel.py`` pins that.
 Keys use ``id(network)``; the cache pins a reference to every keyed
 network so an id can never be recycled while the cache lives.  Do not
 feed a cache networks you intend to mutate.
+
+Hit/miss/size accounting lives in a per-cache
+:class:`repro.obs.metrics.MetricsRegistry` (counters ``hits`` and
+``misses``, gauge ``artifacts``); the legacy ``cache.hits`` /
+``cache.misses`` attributes and the :meth:`ArtifactCache.stats` shape
+are served from it unchanged, and ``benchmarks/bench_sweep.py`` records
+the full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` per mode.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
 from repro.core.hovering import HoveringSites, build_hovering_sites
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.link import RadioModel
 
 #: Planner methods whose kwargs the cache knows how to augment.
@@ -50,11 +58,29 @@ class ArtifactCache:
         self._graphs: Dict[_GraphKey, AuxiliaryGraph] = {}
         self._conflicts: Dict[_SiteKey, List[np.ndarray]] = {}
         self._pins: Dict[int, SensorNetwork] = {}
-        self.hits = 0
-        self.misses = 0
+        self.metrics = MetricsRegistry()
 
     def __len__(self) -> int:
         return len(self._sites) + len(self._graphs) + len(self._conflicts)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (counter ``hits``)."""
+        return int(self.metrics.counter("hits").value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to build the artifact (counter ``misses``)."""
+        return int(self.metrics.counter("misses").value)
+
+    def _hit(self) -> None:
+        self.metrics.counter("hits").inc()
+
+    def _miss(self) -> None:
+        self.metrics.counter("misses").inc()
+
+    def _stored(self) -> None:
+        self.metrics.gauge("artifacts").set(len(self))
 
     def _site_key(self, network: SensorNetwork, radio: RadioModel,
                   delta: float) -> _SiteKey:
@@ -68,11 +94,12 @@ class ArtifactCache:
         key = self._site_key(network, radio, delta)
         cached = self._sites.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         built = build_hovering_sites(network, radio, delta)
         self._sites[key] = built
+        self._stored()
         return built
 
     def conflict_neighbors(self, network: SensorNetwork, radio: RadioModel,
@@ -81,14 +108,15 @@ class ArtifactCache:
         key = self._site_key(network, radio, delta)
         cached = self._conflicts.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         sites = self.sites(network, radio, delta)
         lists: List[np.ndarray] = [np.empty(0, dtype=int)]
         for row in sites.overlap_matrix():
             lists.append(np.flatnonzero(row) + 1)
         self._conflicts[key] = lists
+        self._stored()
         return lists
 
     def graph(self, network: SensorNetwork, radio: RadioModel, delta: float,
@@ -98,12 +126,13 @@ class ArtifactCache:
             float(energy.hover_power), float(energy.travel_cost_per_meter))
         cached = self._graphs.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         built = build_auxiliary_graph(self.sites(network, radio, delta),
                                       energy)
         self._graphs[key] = built
+        self._stored()
         return built
 
     def augment_kwargs(self, network: SensorNetwork, energy: EnergyModel,

@@ -91,6 +91,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="rebuild per-instance geometry every cell "
                              "instead of memoizing it across the sweep "
                              "(paper-literal per-cell timings)")
+    parser.add_argument("--batch-columns", action="store_true",
+                        help="plan each eligible algorithm's whole "
+                             "parameter column per instance as one "
+                             "engine='batch' call (Fig. 5's capacity "
+                             "sweep; identical results, stacked numpy "
+                             "execution)")
     return parser
 
 
@@ -133,7 +139,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         with activated(tracer):
             result = RUNNERS[fig](config, progress=progress,
-                                  jobs=args.jobs, cache=not args.no_cache)
+                                  jobs=args.jobs, cache=not args.no_cache,
+                                  batch_columns=args.batch_columns)
         print(rows_to_markdown(result, title=f"{fig} — {config.label} scale"))
         if args.ascii:
             print(render_sweep(result, panel="volume"))

@@ -40,12 +40,16 @@ def fig3_algorithms(config: ExperimentConfig, *,
 def run_fig3(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, n_restarts: int = 3, validate: bool = True,
-             progress=None, jobs: int = 1, cache: bool = True) -> SweepResult:
+             progress=None, jobs: int = 1, cache: bool = True,
+             batch_columns: bool = False) -> SweepResult:
     """Run the Fig. 3 capacity sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
     artifact cache (see :func:`repro.experiments.runner.run_sweep`); the
     aggregated volumes are bitwise-identical across all settings.
+    ``batch_columns`` is accepted for interface uniformity but is a
+    no-op here: Algorithm 1 and the benchmark have no stacked
+    formulation, so no Fig. 3 spec forms a batchable column.
     """
     if instances is None:
         instances = make_instances(config)
@@ -59,7 +63,8 @@ def run_fig3(config: ExperimentConfig,
         validate=validate,
         progress=progress,
         jobs=jobs,
-        cache=cache)
+        cache=cache,
+        batch_columns=batch_columns)
 
 
 __all__ = ["run_fig3", "fig3_algorithms"]

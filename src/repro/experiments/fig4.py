@@ -37,13 +37,18 @@ def fig4_algorithms(config: ExperimentConfig) -> list:
 def run_fig4(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, validate: bool = True, progress=None,
-             jobs: int = 1, cache: bool = True) -> SweepResult:
+             jobs: int = 1, cache: bool = True,
+             batch_columns: bool = False) -> SweepResult:
     """Run the Fig. 4 δ sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
     artifact cache (see :func:`repro.experiments.runner.run_sweep`).
     Each δ builds its own grid, so the cache pays off here across the
     Algorithm 2/3 cells that share a δ, not along the swept axis.
+    ``batch_columns`` is accepted for interface uniformity but is a
+    no-op here: the swept δ changes every cell's kwargs, so no spec
+    forms a batchable column (the runner detects this and keeps the
+    per-cell path).
     """
     if instances is None:
         instances = make_instances(config)
@@ -63,7 +68,8 @@ def run_fig4(config: ExperimentConfig,
         validate=validate,
         progress=progress,
         jobs=jobs,
-        cache=cache)
+        cache=cache,
+        batch_columns=batch_columns)
 
 
 __all__ = ["run_fig4", "fig4_algorithms"]

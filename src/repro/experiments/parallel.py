@@ -46,7 +46,10 @@ from repro.experiments.runner import (
     AlgoSpec,
     SweepResult,
     SweepRow,
+    _aggregate_samples,
+    _plan_column_instance,
     _run_cell,
+    batchable_column,
     format_progress,
     sweep_cells,
 )
@@ -57,6 +60,17 @@ from repro.obs.tracer import Tracer, TracerLike, activated, span
 
 #: Worker-process state installed by :func:`_init_worker` (one per worker).
 _WORKER: Dict[str, Any] = {}
+
+
+def _energy_fields(energy: EnergyModel) -> Dict[str, Any]:
+    """The constructor fields an :class:`EnergyModel` rebuilds from."""
+    return {
+        "capacity": energy.capacity,
+        "hover_power": energy.hover_power,
+        "travel_power": energy.travel_power,
+        "speed": energy.speed,
+        "distance_based_travel": energy.distance_based_travel,
+    }
 
 
 def _encode_unit(index: int, param_name: str, value: float, spec: AlgoSpec,
@@ -70,13 +84,7 @@ def _encode_unit(index: int, param_name: str, value: float, spec: AlgoSpec,
         "algorithm": spec.name,
         "method": spec.method,
         "kwargs": kwargs,
-        "energy": {
-            "capacity": energy.capacity,
-            "hover_power": energy.hover_power,
-            "travel_power": energy.travel_power,
-            "speed": energy.speed,
-            "distance_based_travel": energy.distance_based_travel,
-        },
+        "energy": _energy_fields(energy),
         "validate": validate,
     }
     try:
@@ -86,6 +94,28 @@ def _encode_unit(index: int, param_name: str, value: float, spec: AlgoSpec,
             f"parallel sweeps ship planner kwargs to workers as JSON; "
             f"make_kwargs returned non-serialisable options for cell "
             f"{spec.name!r} at {param_name}={value:g}: {exc}") from exc
+
+
+def _encode_column_unit(s_idx: int, instance: int, param_name: str,
+                        values: Sequence[float], spec: AlgoSpec,
+                        energies: Sequence[EnergyModel],
+                        kwargs: Dict[str, Any], validate: bool) -> str:
+    """One (column, instance) pair as a JSON work unit.
+
+    ``batchable_column`` already vetted the kwargs as JSON data, so the
+    dump cannot fail on them.
+    """
+    return json.dumps({
+        "column": s_idx,
+        "instance": instance,
+        "param_name": param_name,
+        "values": [float(v) for v in values],
+        "algorithm": spec.name,
+        "method": spec.method,
+        "kwargs": kwargs,
+        "energies": [_energy_fields(e) for e in energies],
+        "validate": validate,
+    })
 
 
 def _init_worker(config_json: str, instances_json: str, cache_enabled: bool,
@@ -114,10 +144,7 @@ def _plan_cell(unit_json: str) -> str:
                             unit["value"], energy, _WORKER["radio"],
                             kwargs=unit["kwargs"],
                             validate=unit["validate"], cache=cache)
-    if tracer is not None and _WORKER["shard_dir"] is not None:
-        append_shard(tracer.records(),
-                     shard_path(_WORKER["shard_dir"], os.getpid()))
-        tracer.clear()
+    _flush_worker_shard(tracer)
     return json.dumps({
         "cell": unit["cell"],
         "worker": os.getpid(),
@@ -136,6 +163,47 @@ def _plan_cell(unit_json: str) -> str:
     })
 
 
+def _flush_worker_shard(tracer: Optional[Tracer]) -> None:
+    """Append this worker's trace records to its JSONL shard, if tracing."""
+    if tracer is not None and _WORKER["shard_dir"] is not None:
+        append_shard(tracer.records(),
+                     shard_path(_WORKER["shard_dir"], os.getpid()))
+        tracer.clear()
+
+
+def _plan_column(unit_json: str) -> str:
+    """Worker entry: plan one (column, instance) unit, return its samples.
+
+    The samples cross back as JSON ``[volume_gb, time_s, perf]`` triples
+    in parameter-value order; the parent aggregates them per cell in
+    instance order, so the float reductions are identical to the
+    sequential column executor (the JSON float round trip is exact).
+    """
+    unit = json.loads(unit_json)
+    spec = AlgoSpec(unit["algorithm"], unit["method"], unit["kwargs"])
+    energies = [EnergyModel(**fields) for fields in unit["energies"]]
+    net = _WORKER["instances"][unit["instance"]]
+    cache: Optional[ArtifactCache] = _WORKER["cache"]
+    tracer: Optional[Tracer] = _WORKER["tracer"]
+    with activated(tracer):
+        with span("runner.column", column=unit["column"],
+                  instance=unit["instance"], param=unit["param_name"],
+                  algorithm=spec.name, width=len(energies),
+                  worker=os.getpid()):
+            samples = _plan_column_instance(
+                net, spec, energies, _WORKER["radio"],
+                kwargs=unit["kwargs"], validate=unit["validate"],
+                cache=cache)
+    _flush_worker_shard(tracer)
+    return json.dumps({
+        "column": unit["column"],
+        "instance": unit["instance"],
+        "worker": os.getpid(),
+        "samples": samples,
+        "cache": cache.stats() if cache is not None else None,
+    })
+
+
 def run_sweep_parallel(
         config: ExperimentConfig,
         instances: Sequence[SensorNetwork],
@@ -150,12 +218,18 @@ def run_sweep_parallel(
         trace: Optional[TracerLike] = None,
         jobs: int = 2,
         cache: bool = True,
+        batch_columns: bool = False,
         shard_dir: Optional[str] = None) -> SweepResult:
     """Run one sweep on a process pool; same contract as ``run_sweep``.
 
     Callers normally reach this through ``run_sweep(..., jobs=N)``.
-    ``shard_dir`` names a directory to keep the per-worker trace shards
-    in (default: a temporary directory deleted after the merge).
+    With ``batch_columns=True`` each eligible algorithm ships one
+    (column, instance) unit per instance — the whole value column plans
+    as one stacked batch call inside the worker, and the parent
+    aggregates the returned samples per cell in instance order (batch
+    within a worker, processes across instances).  ``shard_dir`` names a
+    directory to keep the per-worker trace shards in (default: a
+    temporary directory deleted after the merge).
     """
     if jobs < 2:
         raise ValueError(
@@ -165,11 +239,28 @@ def run_sweep_parallel(
     cells = sweep_cells(algorithms, param_values)
     if not cells:
         return SweepResult(config=config, rows=[], meta={"jobs": jobs})
-    units = [
+    n_specs = len(algorithms)
+    column_specs = [
+        s_idx for s_idx, spec in enumerate(algorithms)
+        if batch_columns and batchable_column(config, spec, param_values,
+                                              make_energy, make_kwargs)]
+    column_energies = {
+        s_idx: [make_energy(config, v) for v in param_values]
+        for s_idx in column_specs}
+    cell_units = [
         _encode_unit(index, param_name, value, spec,
                      make_energy(config, value),
                      make_kwargs(config, value, spec), validate)
         for index, value, spec in cells
+        if index % n_specs not in column_specs
+    ]
+    column_units = [
+        _encode_column_unit(s_idx, instance, param_name, param_values,
+                            algorithms[s_idx], column_energies[s_idx],
+                            make_kwargs(config, param_values[0],
+                                        algorithms[s_idx]), validate)
+        for s_idx in column_specs
+        for instance in range(len(instances))
     ]
 
     with activated(trace) as active:
@@ -182,18 +273,41 @@ def run_sweep_parallel(
 
         results: Dict[int, SweepRow] = {}
         worker_cache_stats: Dict[int, Dict[str, int]] = {}
+        column_samples: Dict[int, Dict[int, list]] = {
+            s_idx: {} for s_idx in column_specs}
         next_to_report = 0
-        with span("parallel.sweep", cells=len(cells), jobs=jobs):
+        n_units = len(cell_units) + len(column_units)
+        with span("parallel.sweep", cells=len(cells), jobs=jobs,
+                  columns=len(column_specs)):
             with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(units)),
+                    max_workers=min(jobs, n_units),
                     initializer=_init_worker,
                     initargs=(json.dumps(config.as_dict()),
                               networks_to_json(instances),
                               cache, tracing, resolved_shard_dir)) as pool:
-                futures = [pool.submit(_plan_cell, unit) for unit in units]
+                futures = [pool.submit(_plan_cell, unit)
+                           for unit in cell_units]
+                futures += [pool.submit(_plan_column, unit)
+                            for unit in column_units]
                 for future in as_completed(futures):
                     payload = json.loads(future.result())
-                    results[payload["cell"]] = SweepRow(**payload["row"])
+                    if "cell" in payload:
+                        results[payload["cell"]] = SweepRow(**payload["row"])
+                    else:
+                        s_idx = payload["column"]
+                        pending = column_samples[s_idx]
+                        pending[payload["instance"]] = payload["samples"]
+                        if len(pending) == len(instances):
+                            # Column complete: aggregate each cell over
+                            # its samples in instance order — identical
+                            # float reductions to the sequential path.
+                            for v_idx, value in enumerate(param_values):
+                                samples = [pending[i][v_idx]
+                                           for i in range(len(instances))]
+                                results[v_idx * n_specs + s_idx] = \
+                                    _aggregate_samples(
+                                        param_name, value,
+                                        algorithms[s_idx], samples)
                     if payload["cache"] is not None:
                         worker_cache_stats[payload["worker"]] = \
                             payload["cache"]
@@ -208,7 +322,9 @@ def run_sweep_parallel(
                         next_to_report += 1
 
         rows = [results[index] for index in range(len(cells))]
-        meta: Dict[str, Any] = {"jobs": jobs}
+        meta: Dict[str, Any] = {"jobs": jobs,
+                                "batch_columns":
+                                    len(column_specs) * len(param_values)}
         if cache:
             meta["cache"] = {
                 "hits": sum(s["hits"] for s in worker_cache_stats.values()),

@@ -17,6 +17,18 @@ counts, the kernel work counters in ``perf`` — is bitwise-identical
 regardless of ``jobs``; only the measured wall-clock fields vary run to
 run.  See ``docs/experiments.md``.
 
+``batch_columns=True`` additionally groups each algorithm's cells into
+*columns*: when a spec's kwargs are identical at every parameter value
+and only the energy model varies (Fig. 5's capacity sweep), all of its
+values are planned per instance in one ``engine="batch"`` call
+(:mod:`repro.core.batch`) — batch within a process, processes across
+instances under ``jobs > 1``.  Batch plans are bitwise-identical to
+``engine="kernel"`` plans, so every deterministic row field except the
+perf engine/counters (which reflect the batch engine) is unchanged;
+per-cell ``mean_time_s`` becomes the column wall-clock divided by the
+column width.  Ineligible specs (the benchmark, swept-δ kwargs,
+non-insertion TSP modes) silently keep the per-cell path.
+
 Both paths also share the per-process
 :class:`~repro.experiments.artifacts.ArtifactCache` (``cache=True``,
 default): δ-grid sites, conflict lists, and auxiliary graphs are built
@@ -29,11 +41,13 @@ geometry-included time.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import plan_algorithm2_batch, plan_algorithm3_batch
 from repro.core.planner import plan_tour
 from repro.energy.model import EnergyModel
 from repro.experiments.artifacts import ArtifactCache, resolve_cache
@@ -192,7 +206,8 @@ def run_sweep(config: ExperimentConfig,
               progress: Optional[Callable[[str], None]] = None,
               trace: Optional[TracerLike] = None,
               jobs: int = 1,
-              cache: Any = True) -> SweepResult:
+              cache: Any = True,
+              batch_columns: bool = False) -> SweepResult:
     """Run a full sweep and aggregate per-cell statistics.
 
     Parameters
@@ -233,6 +248,12 @@ def run_sweep(config: ExperimentConfig,
         cells in an :class:`~repro.experiments.artifacts.ArtifactCache`
         (one per process); ``False`` — rebuild per cell, paper-literal;
         or a caller-owned cache instance (sequential path only).
+    batch_columns:
+        Plan each eligible algorithm's whole value column per instance
+        in one stacked ``engine="batch"`` call (see the module
+        docstring).  Deterministic row fields other than the perf
+        engine/counters are unchanged; ineligible specs keep the
+        per-cell path.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -242,26 +263,53 @@ def run_sweep(config: ExperimentConfig,
             config, instances, algorithms, param_name, param_values,
             make_energy=make_energy, make_kwargs=make_kwargs,
             validate=validate, progress=progress, trace=trace, jobs=jobs,
-            cache=bool(cache))
+            cache=bool(cache), batch_columns=batch_columns)
 
     radio = config.radio_model()
     artifact_cache = resolve_cache(cache)
     cells = sweep_cells(algorithms, param_values)
     rows: List[SweepRow] = []
+    column_rows: Dict[int, SweepRow] = {}
+    n_specs = len(algorithms)
     with activated(trace):
+        if batch_columns:
+            for s_idx, spec in enumerate(algorithms):
+                if not batchable_column(config, spec, param_values,
+                                        make_energy, make_kwargs):
+                    continue
+                energies = [make_energy(config, v) for v in param_values]
+                kwargs = make_kwargs(config, param_values[0], spec)
+                samples_by_value: List[List[Sample]] = \
+                    [[] for _ in param_values]
+                with span("runner.column", algorithm=spec.name,
+                          param=param_name, width=len(param_values)):
+                    for net in instances:
+                        samples = _plan_column_instance(
+                            net, spec, energies, radio, kwargs=kwargs,
+                            validate=validate, cache=artifact_cache)
+                        for v_idx, sample in enumerate(samples):
+                            samples_by_value[v_idx].append(sample)
+                for v_idx, value in enumerate(param_values):
+                    column_rows[v_idx * n_specs + s_idx] = \
+                        _aggregate_samples(param_name, value, spec,
+                                           samples_by_value[v_idx])
         for index, value, spec in cells:
-            energy = make_energy(config, value)
-            kwargs = make_kwargs(config, value, spec)
-            with span("runner.cell", cell=index, param=param_name,
-                      value=float(value), algorithm=spec.name):
-                row = _run_cell(instances, spec, param_name, value,
-                                energy, radio, kwargs=kwargs,
-                                validate=validate, cache=artifact_cache)
+            if index in column_rows:
+                row = column_rows[index]
+            else:
+                energy = make_energy(config, value)
+                kwargs = make_kwargs(config, value, spec)
+                with span("runner.cell", cell=index, param=param_name,
+                          value=float(value), algorithm=spec.name):
+                    row = _run_cell(instances, spec, param_name, value,
+                                    energy, radio, kwargs=kwargs,
+                                    validate=validate,
+                                    cache=artifact_cache)
             rows.append(row)
             if progress is not None:
                 progress(format_progress(index, len(cells), param_name,
                                          value, row))
-    meta: Dict[str, Any] = {"jobs": 1}
+    meta: Dict[str, Any] = {"jobs": 1, "batch_columns": len(column_rows)}
     if artifact_cache is not None:
         meta["cache"] = artifact_cache.stats()
     return SweepResult(config=config, rows=rows, meta=meta)
@@ -286,24 +334,53 @@ def _run_cell(instances: Sequence[SensorNetwork],
     queueing or transport) and the deterministic row fields bitwise-equal
     across ``jobs`` settings.
     """
-    volumes, times = [], []
+    samples = [_instance_sample(net, spec, energy, radio, kwargs=kwargs,
+                                validate=validate, cache=cache)
+               for net in instances]
+    return _aggregate_samples(param_name, value, spec, samples)
+
+
+#: One per-instance measurement: (volume_gb, planning_time_s, perf dict).
+Sample = Tuple[float, float, Optional[Dict[str, Any]]]
+
+
+def _instance_sample(net: SensorNetwork,
+                     spec: AlgoSpec,
+                     energy: EnergyModel,
+                     radio: Any,
+                     *,
+                     kwargs: Dict[str, Any],
+                     validate: bool,
+                     cache: Optional[ArtifactCache] = None) -> Sample:
+    """Plan one instance of one cell; the timer wraps only the planning."""
+    call_kwargs = kwargs
+    if cache is not None:
+        # Outside the timer: cached sweeps report pure planning time
+        # over prebuilt geometry (see the module docstring).
+        call_kwargs = cache.augment_kwargs(net, energy, radio,
+                                           spec.method, kwargs)
+    with Timer() as t:
+        tour = plan_tour(net, energy, radio,
+                         method=spec.method, **call_kwargs)
+    if validate:
+        cross_validate(tour, radio)
+    return (tour.collected_volume / MB_PER_GB, t.elapsed,
+            tour.meta.get("perf"))
+
+
+def _aggregate_samples(param_name: str, value: float, spec: AlgoSpec,
+                       samples: Sequence[Sample]) -> SweepRow:
+    """Aggregate one cell's per-instance samples into its sweep row.
+
+    Shared verbatim by the per-cell, column, and parallel executors —
+    aggregation order is the instance order, so every executor produces
+    the identical float reductions.
+    """
+    volumes = [s[0] for s in samples]
+    times = [s[1] for s in samples]
     perf_acc: Dict[str, List[float]] = {}
     perf_engine = None
-    for net in instances:
-        call_kwargs = kwargs
-        if cache is not None:
-            # Outside the timer: cached sweeps report pure planning time
-            # over prebuilt geometry (see the module docstring).
-            call_kwargs = cache.augment_kwargs(net, energy, radio,
-                                               spec.method, kwargs)
-        with Timer() as t:
-            tour = plan_tour(net, energy, radio,
-                             method=spec.method, **call_kwargs)
-        if validate:
-            cross_validate(tour, radio)
-        volumes.append(tour.collected_volume / MB_PER_GB)
-        times.append(t.elapsed)
-        perf = tour.meta.get("perf")
+    for _, _, perf in samples:
         if perf:
             perf_engine = perf.get("engine", perf_engine)
             for key, val in _flatten_perf(perf).items():
@@ -320,8 +397,108 @@ def _run_cell(instances: Sequence[SensorNetwork],
         std_volume_gb=_population_std(volumes),
         mean_time_s=float(np.mean(times)),
         std_time_s=_population_std(times),
-        n_instances=len(instances),
+        n_instances=len(samples),
         perf=perf_mean)
+
+
+#: Planner kwargs the batch column executor understands, per method.
+#: A spec using any other option falls back to the per-cell path.
+_COLUMN_KWARGS: Dict[str, frozenset] = {
+    "algorithm2": frozenset({"delta", "polish", "scoring", "max_iterations",
+                             "engine", "tsp_mode"}),
+    "algorithm3": frozenset({"delta", "K", "polish", "max_iterations",
+                             "engine"}),
+}
+
+
+def batchable_column(config: ExperimentConfig,
+                     spec: AlgoSpec,
+                     param_values: Sequence[float],
+                     make_energy: Callable[[ExperimentConfig, float],
+                                           EnergyModel],
+                     make_kwargs: Callable[[ExperimentConfig, float,
+                                            AlgoSpec], Dict[str, Any]],
+                     ) -> bool:
+    """True if *spec*'s cells form one batchable column.
+
+    Batchable means the stacked planner can replay every cell exactly:
+    the method has a batch formulation (Algorithms 2/3 with the default
+    insertion construction and the kernel-family engine), the planner
+    kwargs are identical JSON at every parameter value (so geometry and
+    policy are shared), and the energy models differ only in capacity-like
+    fields — :class:`~repro.core.batch.BatchPlannerKernel` requires equal
+    hover/travel rates across the column.
+    """
+    allowed = _COLUMN_KWARGS.get(spec.method)
+    if allowed is None or not len(param_values):
+        return False
+    try:
+        kwargs0 = make_kwargs(config, param_values[0], spec)
+        key0 = json.dumps(kwargs0, sort_keys=True)
+        keys_equal = all(
+            json.dumps(make_kwargs(config, v, spec), sort_keys=True) == key0
+            for v in param_values[1:])
+    except TypeError:
+        return False             # non-JSON kwargs (e.g. prebuilt sites)
+    if not keys_equal or not set(kwargs0) <= allowed:
+        return False
+    if "delta" not in kwargs0:
+        return False
+    if kwargs0.get("engine", "kernel") not in ("kernel", "batch"):
+        return False
+    if kwargs0.get("tsp_mode", "insertion") != "insertion":
+        return False
+    if spec.method == "algorithm3" and "K" not in kwargs0:
+        return False
+    energies = [make_energy(config, v) for v in param_values]
+    e0 = energies[0]
+    return all(e.hover_power == e0.hover_power
+               and e.travel_cost_per_meter == e0.travel_cost_per_meter
+               for e in energies)
+
+
+def _plan_column_instance(net: SensorNetwork,
+                          spec: AlgoSpec,
+                          energies: Sequence[EnergyModel],
+                          radio: Any,
+                          *,
+                          kwargs: Dict[str, Any],
+                          validate: bool,
+                          cache: Optional[ArtifactCache] = None
+                          ) -> List[Sample]:
+    """Plan one instance's whole column in one batch call.
+
+    Returns one sample per parameter value, in value order.  The timer
+    wraps the single stacked planning call; each cell's time share is
+    the column wall-clock divided by the column width (the work counters
+    in ``perf`` stay per-variant and grouping-invariant).
+    """
+    call_kwargs = dict(kwargs)
+    if cache is not None:
+        # Outside the timer, like the per-cell path: the site cache key
+        # only involves geometry, so any of the column's energies works.
+        call_kwargs = cache.augment_kwargs(net, energies[0], radio,
+                                           spec.method, call_kwargs)
+    delta = call_kwargs.pop("delta")
+    call_kwargs.pop("engine", None)
+    call_kwargs.pop("tsp_mode", None)
+    if spec.method == "algorithm3":
+        K = call_kwargs.pop("K")
+        with Timer() as t:
+            tours = plan_algorithm3_batch(net, list(energies), radio, delta,
+                                          K, **call_kwargs)
+    else:
+        with Timer() as t:
+            tours = plan_algorithm2_batch(net, list(energies), radio, delta,
+                                          **call_kwargs)
+    share = t.elapsed / len(tours)
+    samples: List[Sample] = []
+    for tour in tours:
+        if validate:
+            cross_validate(tour, radio)
+        samples.append((tour.collected_volume / MB_PER_GB, share,
+                        tour.meta.get("perf")))
+    return samples
 
 
 def _population_std(values: Sequence[float]) -> float:
@@ -340,4 +517,6 @@ def _population_std(values: Sequence[float]) -> float:
 
 __all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
            "PERF_SECONDS_PREFIX", "sweep_cells", "format_progress",
-           "_flatten_perf", "_run_cell", "_population_std"]
+           "batchable_column", "_flatten_perf", "_run_cell",
+           "_instance_sample", "_aggregate_samples",
+           "_plan_column_instance", "_population_std"]

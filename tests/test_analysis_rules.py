@@ -156,7 +156,7 @@ class TestHotPathPurity:
         project = make_project(tmp_path, {"src/repro/core/k.py": mixed})
         found = rule_findings(project, HotPathPurityRule())
         assert len(found) == 1
-        assert found[0].message.startswith("broadcasted 2-D temporary")
+        assert found[0].message.startswith("broadcasted dense temporary")
         assert "def hot" in project.modules[0].text.splitlines()[
             found[0].line - 2] or found[0].line == 9
 
@@ -200,6 +200,35 @@ class TestHotPathPurity:
                 return np.zeros((m, k))
         """
         project = make_project(tmp_path, {"src/repro/core/k.py": allowed})
+        assert rule_findings(project, HotPathPurityRule()) == []
+
+    def test_fires_on_batched_3d_broadcast(self, tmp_path):
+        # The batch kernel's leading variant axis: a (B, m) state column
+        # against a (B, n) one makes a dense (B, m, n) temporary.
+        bad = """
+            # repro: hot-path
+            import numpy as np
+
+            def rescore(p_res, rem):
+                return p_res[:, :, None] * rem[:, None, :]
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        found = rule_findings(project, HotPathPurityRule())
+        assert len(found) == 1
+        assert found[0].message.startswith("broadcasted dense temporary")
+
+    def test_quiet_on_3d_axis_alignment(self, tmp_path):
+        # A lone trailing-axis insert (scaling a (B, m, K) table by a
+        # (B, m) one) broadcasts against existing axes — no new dense
+        # plane, so no finding.
+        good = """
+            # repro: hot-path
+            import numpy as np
+
+            def scale(tau, deltas, eta):
+                return tau * eta + deltas[:, :, None] * eta
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": good})
         assert rule_findings(project, HotPathPurityRule()) == []
 
 

@@ -22,6 +22,7 @@ from repro.experiments.parallel import _encode_unit, run_sweep_parallel
 from repro.experiments.runner import (
     AlgoSpec,
     SweepRow,
+    batchable_column,
     format_progress,
     run_sweep,
     sweep_cells,
@@ -346,6 +347,117 @@ class TestArtifactCache:
         assert resolve_cache(owned) is owned
         with pytest.raises(TypeError):
             resolve_cache("yes")
+
+
+def det_rows_sans_perf(result):
+    """Deterministic rows with the engine-specific perf block removed.
+
+    The batch engine counts work differently from the per-cell kernel
+    (union dirty-set rescoring, no ``sites_rescored``), so cross-engine
+    comparisons drop perf; everything else must be bitwise-equal.
+    """
+    rows = []
+    for row in result.rows:
+        det = row.deterministic_dict()
+        det.pop("perf", None)
+        rows.append(det)
+    return rows
+
+
+class TestBatchColumns:
+    """``batch_columns=True`` plans eligible columns with engine='batch'."""
+
+    @pytest.fixture(scope="class")
+    def fig5_plain(self, tiny_config):
+        return run_fig5(tiny_config, jobs=1)
+
+    @pytest.fixture(scope="class")
+    def fig5_batch(self, tiny_config):
+        return run_fig5(tiny_config, jobs=1, batch_columns=True)
+
+    def test_sequential_matches_per_cell(self, fig5_plain, fig5_batch):
+        assert det_rows_sans_perf(fig5_batch) == det_rows_sans_perf(
+            fig5_plain)
+
+    def test_eligible_rows_use_batch_engine(self, fig5_batch):
+        engines = {row.algorithm: row.perf["engine"]
+                   for row in fig5_batch.rows if row.perf}
+        assert engines["Algorithm 2"] == "batch"
+        assert engines["Algorithm 3 (K=2)"] == "batch"
+
+    def test_meta_counts_column_cells(self, tiny_config, fig5_batch):
+        # 2 eligible specs (Algorithm 2/3) x 2 capacities.
+        assert fig5_batch.meta["batch_columns"] == \
+            2 * len(tiny_config.capacity_sweep)
+
+    def test_parallel_matches_sequential(self, tiny_config, fig5_batch):
+        par = run_fig5(tiny_config, jobs=2, batch_columns=True)
+        assert det_rows(par) == det_rows(fig5_batch)
+        assert par.meta["batch_columns"] == fig5_batch.meta["batch_columns"]
+
+    def test_fig4_batch_columns_is_noop(self, tiny_config):
+        # The swept δ changes every cell's kwargs, so nothing batches.
+        plain = run_fig4(tiny_config, jobs=1)
+        batch = run_fig4(tiny_config, jobs=1, batch_columns=True)
+        assert det_rows(batch) == det_rows(plain)
+        assert batch.meta["batch_columns"] == 0
+
+    def test_cache_off_matches(self, tiny_config, fig5_batch):
+        uncached = run_fig5(tiny_config, jobs=1, batch_columns=True,
+                            cache=False)
+        assert det_rows(uncached) == det_rows(fig5_batch)
+
+
+class TestBatchableColumn:
+    @staticmethod
+    def _fig5_kwargs(cfg, value, spec):
+        kwargs = dict(spec.kwargs)
+        if spec.method != "benchmark":
+            kwargs["delta"] = cfg.delta
+        return kwargs
+
+    def test_capacity_column_eligible(self, tiny_config):
+        make_energy = lambda cfg, v: cfg.energy_model(capacity=v)  # noqa: E731
+        for spec in (AlgoSpec("Alg 2", "algorithm2", {}),
+                     AlgoSpec("Alg 3", "algorithm3", {"K": 2})):
+            assert batchable_column(
+                tiny_config, spec, tiny_config.capacity_sweep,
+                make_energy, self._fig5_kwargs)
+
+    def test_benchmark_not_eligible(self, tiny_config):
+        assert not batchable_column(
+            tiny_config, AlgoSpec("Bench", "benchmark", {}),
+            tiny_config.capacity_sweep,
+            lambda cfg, v: cfg.energy_model(capacity=v),
+            self._fig5_kwargs)
+
+    def test_swept_kwargs_not_eligible(self, tiny_config):
+        def swept_delta(cfg, value, spec):
+            return {"delta": value}
+        assert not batchable_column(
+            tiny_config, AlgoSpec("Alg 2", "algorithm2", {}),
+            tiny_config.delta_sweep,
+            lambda cfg, v: cfg.energy_model(), swept_delta)
+
+    def test_varying_rates_not_eligible(self, tiny_config):
+        from repro.energy.model import EnergyModel
+
+        def rate_sweep(cfg, v):
+            return EnergyModel(capacity=cfg.capacity, hover_power=v,
+                               travel_power=cfg.travel_power,
+                               speed=cfg.speed)
+
+        assert not batchable_column(
+            tiny_config, AlgoSpec("Alg 2", "algorithm2", {}),
+            (100.0, 200.0), rate_sweep, self._fig5_kwargs)
+
+    def test_christofides_not_eligible(self, tiny_config):
+        spec = AlgoSpec("Alg 2", "algorithm2",
+                        {"tsp_mode": "christofides"})
+        assert not batchable_column(
+            tiny_config, spec, tiny_config.capacity_sweep,
+            lambda cfg, v: cfg.energy_model(capacity=v),
+            self._fig5_kwargs)
 
 
 class TestAlgorithm1PrebuiltInputs:
