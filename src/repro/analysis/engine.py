@@ -94,6 +94,9 @@ class SourceModule:
     allows: Dict[int, Set[str]] = field(default_factory=dict)
     #: (line, "hot-path" | "cold-path") scope markers, in file order
     markers: List[Tuple[int, str]] = field(default_factory=list)
+    #: lazily-built map of decorated def/class lineno -> first decorator
+    #: lineno (see :meth:`is_suppressed`)
+    _decorated: Optional[Dict[int, int]] = field(default=None, repr=False)
 
     @classmethod
     def parse(cls, path: Path, root: Path) -> "SourceModule":
@@ -174,14 +177,44 @@ class SourceModule:
         return spans
 
     def is_suppressed(self, finding: Finding) -> bool:
-        """True when an ``allow`` directive covers *finding*."""
-        for line in (finding.line, finding.line - 1):
+        """True when an ``allow`` directive covers *finding*.
+
+        A directive counts on the finding's own line, on a comment line
+        immediately above it, or — when the finding anchors on a
+        decorated ``def``/``class`` line — on any decorator line of that
+        definition or a comment line immediately above the first
+        decorator (the natural place to write the directive).
+        """
+        candidates: List[Tuple[int, bool]] = [
+            (finding.line, True), (finding.line - 1, False)]
+        first_dec = self._decorator_start(finding.line)
+        if first_dec is not None:
+            candidates.extend(
+                (line, True) for line in range(first_dec, finding.line))
+            candidates.append((first_dec - 1, False))
+        for line, inline_ok in candidates:
             allowed = self.allows.get(line)
             if allowed and (finding.rule in allowed or "*" in allowed):
-                # The directive one line up only counts on a comment line.
-                if line == finding.line or self._is_comment_line(line):
+                # A directive one line above a site only counts on a
+                # comment line; on the site itself (or a decorator line
+                # of the decorated def) a trailing comment is fine.
+                if inline_ok or self._is_comment_line(line):
                     return True
         return False
+
+    def _decorator_start(self, lineno: int) -> Optional[int]:
+        """First decorator line of a def/class at *lineno*, if decorated."""
+        if self.tree is None:
+            return None
+        if self._decorated is None:
+            decorated: Dict[int, int] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)) and node.decorator_list:
+                    decorated[node.lineno] = min(
+                        d.lineno for d in node.decorator_list)
+            self._decorated = decorated
+        return self._decorated.get(lineno)
 
     def _is_comment_line(self, lineno: int) -> bool:
         lines = self.text.splitlines()
@@ -330,10 +363,19 @@ def render_text(findings: Sequence[Finding], *, baselined: int = 0,
 
 def render_json(findings: Sequence[Finding], *, baselined: int = 0,
                 checked: int = 0) -> str:
-    """Machine-readable report (stable schema, version 1)."""
+    """Machine-readable report (stable schema, version 1).
+
+    Findings are ordered worst-first — by severity rank (errors before
+    warnings), then location — so machine consumers can truncate the
+    list without losing the errors.
+    """
+    rank = {sev: i for i, sev in enumerate(SEVERITIES)}
+    ordered = sorted(findings, key=lambda f: (
+        rank.get(f.severity, len(SEVERITIES)),
+        f.path, f.line, f.rule, f.message))
     payload = {"version": 1, "checked_files": checked,
                "baselined": baselined,
-               "findings": [f.to_dict() for f in findings]}
+               "findings": [f.to_dict() for f in ordered]}
     return json.dumps(payload, indent=2)
 
 

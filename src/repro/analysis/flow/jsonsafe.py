@@ -1,0 +1,324 @@
+"""JSON-safety classification for the transport-purity rule.
+
+Every value crossing the parallel executor's process boundary travels as
+``json.dumps`` output, so the static question is: *can this expression
+ever evaluate to something the default JSON encoder rejects?*  The
+answer is a three-point lattice:
+
+* ``SAFE`` — provably encodable: str/int/float/bool/None constants,
+  containers of SAFE values, ``float()``/``str()``/``round()``-style
+  coercions, ``.item()``/``.tolist()`` materialisations, ``json.dumps``
+  output, internal functions whose returns classify SAFE;
+* ``UNSAFE(reason)`` — provably rejected: ``bytes``, ``set`` literals,
+  numpy calls (``np.mean`` returns ``np.float64``, which ``json`` raises
+  on), instances of project classes (a ``SensorNetwork`` or ``Tracer``
+  handle is an object, not data), parameters annotated with such types;
+* ``UNKNOWN`` — everything in between (attribute reads, ``Any``
+  annotations, unresolved calls).
+
+The rule only *errors on UNSAFE*: flagging UNKNOWN would drown the
+report in the executor's legitimately dynamic ``Dict[str, Any]`` kwargs
+channel, which the runtime ``json.dumps`` try/except already guards.
+That asymmetry — prove the bug, not the absence of bugs — is the
+documented contract in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    Resolver,
+    target_name,
+)
+
+SAFE = "safe"
+UNKNOWN = "unknown"
+UNSAFE = "unsafe"
+
+#: Call names (unqualified) whose result is always JSON-encodable.
+_SAFE_CALLS = frozenset({
+    "float", "int", "str", "bool", "round", "len", "abs", "repr", "format",
+    "ord", "chr",
+})
+
+#: Dotted call names whose result is always JSON-encodable.
+_SAFE_DOTTED = frozenset({
+    "json.dumps", "json.loads", "os.getpid", "os.cpu_count", "time.time",
+    "math.floor", "math.ceil",
+})
+
+#: Method names that materialise numpy values into Python scalars/lists.
+_SAFE_METHODS = frozenset({"item", "tolist", "isoformat", "hexdigest",
+                           "strip", "lstrip", "rstrip", "join", "format",
+                           "lower", "upper", "split"})
+
+#: Annotation tokens that keep an annotated value JSON-safe.
+_SAFE_ANN_TOKENS = frozenset({
+    "str", "int", "float", "bool", "None", "Optional", "Union", "List",
+    "Dict", "Tuple", "Sequence", "Mapping", "Iterable", "list", "dict",
+    "tuple", "typing",
+})
+
+_ANN_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+@dataclass(frozen=True)
+class JsonVerdict:
+    """Classification of one expression plus the chain of evidence."""
+
+    level: str                     #: SAFE | UNKNOWN | UNSAFE
+    reason: str = ""               #: set when UNSAFE
+    hops: Tuple[str, ...] = ()     #: ``file:line what`` evidence trail
+
+    def hop(self, entry: str) -> "JsonVerdict":
+        return JsonVerdict(self.level, self.reason, self.hops + (entry,))
+
+
+SAFE_V = JsonVerdict(SAFE)
+UNKNOWN_V = JsonVerdict(UNKNOWN)
+
+
+def merge(verdicts: Sequence[JsonVerdict]) -> JsonVerdict:
+    """Container join: one UNSAFE element poisons, one UNKNOWN dilutes."""
+    worst = SAFE_V
+    for v in verdicts:
+        if v.level == UNSAFE:
+            return v
+        if v.level == UNKNOWN:
+            worst = v
+    return worst
+
+
+def classify_annotation(text: str, graph: CallGraph) -> JsonVerdict:
+    """Classify a value by its annotation text alone."""
+    if not text:
+        return UNKNOWN_V
+    words = _ANN_WORD_RE.findall(text)
+    if not words:
+        return UNKNOWN_V
+    for word in words:
+        base = word.split(".")[-1]
+        if base in ("Any", "object", "bytes", "bytearray", "set",
+                    "frozenset", "Set", "FrozenSet", "ndarray", "Callable"):
+            if base in ("Any", "object", "Callable"):
+                return UNKNOWN_V
+            return JsonVerdict(UNSAFE,
+                               f"annotated {text!r} is not JSON-encodable")
+        if base in _SAFE_ANN_TOKENS:
+            continue
+        # A project class named in an annotation is an object handle.
+        for cls in graph.classes.values():
+            if cls.name == base:
+                return JsonVerdict(
+                    UNSAFE, f"annotated {text!r}: {base} instances cross "
+                            "the process boundary as objects, not JSON")
+        return UNKNOWN_V
+    return SAFE_V
+
+
+class JsonClassifier:
+    """Classifies expressions inside one function body.
+
+    Interprocedural via return types: a call to an internal function is
+    classified by its return annotation when present, else by
+    classifying its ``return`` expressions (memoised on the analysis,
+    depth-capped so cycles terminate).
+    """
+
+    def __init__(self, graph: CallGraph, info: FunctionInfo,
+                 ret_memo: Optional[Dict[str, JsonVerdict]] = None,
+                 depth: int = 0) -> None:
+        self.graph = graph
+        self.info = info
+        env = graph.env_for(info.module)
+        assert env is not None
+        self.resolver = Resolver(graph, env, info)
+        self.ret_memo = ret_memo if ret_memo is not None else {}
+        self.depth = depth
+        self.state: Dict[str, JsonVerdict] = {}
+        for name in info.params:
+            ann = info.param_annotation(name)
+            self.state[name] = classify_annotation(ann, graph)
+
+    def _site(self, line: int, what: str) -> str:
+        return f"{self.info.module.rel}:{line} {what}"
+
+    # -- statement walk (assignments only; order approximates flow) ----- #
+
+    def learn(self) -> None:
+        """Record variable classifications from the body's assignments."""
+        for stmt in ast.walk(self.info.node):
+            if isinstance(stmt, ast.Assign):
+                verdict = self.classify(stmt.value)
+                for tgt in stmt.targets:
+                    self._learn_target(tgt, verdict, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                if stmt.value is not None:
+                    verdict = self.classify(stmt.value)
+                else:
+                    verdict = classify_annotation(
+                        (ast.unparse(stmt.annotation)
+                         if stmt.annotation else ""), self.graph)
+                self.state[stmt.target.id] = verdict
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                verdict = self.classify(stmt.iter)
+                self._learn_target(stmt.target, verdict, None)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._learn_target(item.optional_vars,
+                                           self.classify(item.context_expr),
+                                           item.context_expr)
+
+    def _learn_target(self, target: ast.expr, verdict: JsonVerdict,
+                      value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self.state[target.id] = verdict
+            if value is not None:
+                self.resolver.note_assignment(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._learn_target(elt, verdict, None)
+
+    # -- expression classification -------------------------------------- #
+
+    def classify(self, expr: Optional[ast.expr]) -> JsonVerdict:
+        if expr is None:
+            return SAFE_V
+        line = getattr(expr, "lineno", self.info.lineno)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (bytes, bytearray)):
+                return JsonVerdict(
+                    UNSAFE, "bytes are not JSON-encodable",
+                    hops=(self._site(line, "bytes literal"),))
+            return SAFE_V
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return JsonVerdict(
+                UNSAFE, "set/frozenset is not JSON-encodable",
+                hops=(self._site(line, "set literal"),))
+        if isinstance(expr, ast.Name):
+            return self.state.get(expr.id, UNKNOWN_V)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            return merge([self.classify(e) for e in expr.elts])
+        if isinstance(expr, ast.Dict):
+            parts = [self.classify(v) for v in expr.values]
+            parts.extend(self.classify(k) for k in expr.keys
+                         if k is not None)
+            return merge(parts)
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._classify_comp(expr, [expr.elt])
+        if isinstance(expr, ast.DictComp):
+            return self._classify_comp(expr, [expr.key, expr.value])
+        if isinstance(expr, ast.Call):
+            return self._classify_call(expr)
+        if isinstance(expr, ast.IfExp):
+            return merge([self.classify(expr.body),
+                          self.classify(expr.orelse)])
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            return SAFE_V
+        if isinstance(expr, ast.BoolOp):
+            return merge([self.classify(v) for v in expr.values])
+        if isinstance(expr, ast.Compare):
+            return SAFE_V                      # comparisons yield bools
+        if isinstance(expr, ast.BinOp):
+            return merge([self.classify(expr.left),
+                          self.classify(expr.right)])
+        if isinstance(expr, ast.UnaryOp):
+            return self.classify(expr.operand)
+        if isinstance(expr, ast.Starred):
+            return self.classify(expr.value)
+        return UNKNOWN_V                       # attributes, subscripts, ...
+
+    def _classify_comp(self, expr, elts: List[ast.expr]) -> JsonVerdict:
+        saved: Dict[str, Optional[JsonVerdict]] = {}
+        for gen in expr.generators:
+            iter_v = self.classify(gen.iter)
+            for node in ast.walk(gen.target):
+                if isinstance(node, ast.Name):
+                    saved.setdefault(node.id, self.state.get(node.id))
+                    # Elements of a SAFE iterable are SAFE.
+                    self.state[node.id] = (iter_v if iter_v.level != UNSAFE
+                                           else UNKNOWN_V)
+        out = merge([self.classify(e) for e in elts])
+        for name, old in saved.items():
+            if old is None:
+                self.state.pop(name, None)
+            else:
+                self.state[name] = old
+        return out
+
+    def _classify_call(self, call: ast.Call) -> JsonVerdict:
+        line = call.lineno
+        target = self.resolver.resolve(call)
+        name = target_name(target)
+        short = name.rsplit(".", 1)[-1]
+        if isinstance(target, ClassInfo):
+            if target.module.is_repro_module:
+                return JsonVerdict(
+                    UNSAFE, f"{target.name} instance is an object handle, "
+                            "not JSON data",
+                    hops=(self._site(line, f"{target.name}(...) "
+                                           "constructed"),))
+            return UNKNOWN_V
+        if isinstance(target, FunctionInfo):
+            return self._classify_internal_return(target).hop(
+                self._site(line, f"returned by {target.short}()"))
+        root = name.split(".")[0]
+        if root in ("np", "numpy"):
+            return JsonVerdict(
+                UNSAFE, f"{name}() yields a numpy object "
+                        "(np.float64/ndarray), which json.dumps rejects",
+                hops=(self._site(line, f"{name}() call"),))
+        if name in _SAFE_DOTTED or short in _SAFE_CALLS:
+            return SAFE_V
+        if isinstance(call.func, ast.Attribute) and short in _SAFE_METHODS:
+            return SAFE_V
+        if short in ("dict", "list", "tuple", "sorted"):
+            parts = [self.classify(a) for a in call.args]
+            parts.extend(self.classify(kw.value) for kw in call.keywords)
+            return merge(parts) if parts else SAFE_V
+        if short in ("set", "frozenset"):
+            return JsonVerdict(
+                UNSAFE, "set/frozenset is not JSON-encodable",
+                hops=(self._site(line, f"{short}(...) call"),))
+        return UNKNOWN_V
+
+    def _classify_internal_return(self, callee: FunctionInfo) -> JsonVerdict:
+        memo = self.ret_memo
+        if callee.qname in memo:
+            return memo[callee.qname]
+        ann = callee.return_annotation
+        if ann:
+            verdict = classify_annotation(ann, self.graph)
+            memo[callee.qname] = verdict
+            return verdict
+        if self.depth >= 3:
+            return UNKNOWN_V
+        memo[callee.qname] = UNKNOWN_V        # cycle breaker
+        sub = JsonClassifier(self.graph, callee, ret_memo=memo,
+                             depth=self.depth + 1)
+        sub.learn()
+        verdicts = [sub.classify(stmt.value)
+                    for stmt in ast.walk(callee.node)
+                    if isinstance(stmt, ast.Return)
+                    and stmt.value is not None]
+        verdict = merge(verdicts) if verdicts else SAFE_V
+        memo[callee.qname] = verdict
+        return verdict
+
+
+def render_hops(verdict: JsonVerdict) -> str:
+    """Evidence trail rendering for finding hints."""
+    return " -> ".join(verdict.hops) if verdict.hops else verdict.reason
+
+
+__all__ = ["JsonVerdict", "JsonClassifier", "classify_annotation", "merge",
+           "render_hops", "SAFE", "UNKNOWN", "UNSAFE", "SAFE_V", "UNKNOWN_V"]

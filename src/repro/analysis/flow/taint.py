@@ -1,0 +1,589 @@
+"""Determinism-taint lattice and interprocedural summary computation.
+
+The lattice has two concrete taint kinds plus a symbolic one:
+
+* ``value`` — the *value* is nondeterministic: wall-clock reads
+  (``time.*``), unseeded RNG draws (``np.random.uniform``, stdlib
+  ``random.*``), ``id()``, ``hash()`` of objects/strings (PYTHONHASHSEED),
+  ``os.urandom``/``uuid`` entropy;
+* ``order`` — the value's *ordering* is nondeterministic: iteration over
+  a ``set``/``frozenset``, ``as_completed``/``imap_unordered`` worker
+  completion order, ``os.listdir``/``glob.glob`` filesystem order.
+  ``sorted``/``min``/``max`` neutralise ``order`` taint (``len``
+  neutralises everything);
+* ``param`` — symbolic taint seeded on every parameter, used to compute
+  the per-function summaries (*does parameter i reach the return value /
+  a sink?*) that make the analysis interprocedural.
+
+Propagation is a forward walk over each function body: assignments,
+container literals, arithmetic, attribute/subscript reads of tainted
+values, calls through summaries of resolved callees, and a conservative
+"taint in, taint out" rule for unresolved externals.  Attribute *stores*
+(``self.x = tainted``) deliberately drop taint — cross-method field
+tracking would drown the rules in false positives from the perf-timer
+plumbing, whose wall-clock fields are excluded from determinism
+comparisons by design (see ``SweepRow.deterministic_dict``).
+
+Summaries are iterated to a fixpoint over the call graph, so a taint can
+cross any number of function boundaries before reaching a sink; every
+hop is recorded and rendered in the finding
+(``source -> hop -> ... -> sink``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    Resolver,
+    target_name,
+)
+
+ORDER = "order"
+VALUE = "value"
+PARAM = "param"
+
+#: Hop cap — traces longer than this are elided in the middle.
+MAX_TRACE = 12
+
+#: Fixpoint iteration cap (cycles in the call graph converge long before).
+MAX_PASSES = 10
+
+#: ``time`` module attributes whose call is a wall-clock read.
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+    "clock_gettime", "thread_time",
+})
+
+#: Module-level numpy.random draws (mirrors the rng-discipline table).
+_NP_RANDOM_DRAWS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "uniform", "normal", "standard_normal", "shuffle",
+    "permutation", "exponential", "poisson", "beta", "gamma", "binomial",
+    "integers", "bytes",
+})
+
+#: Exact external dotted names whose call result is value-tainted.
+_VALUE_CALLS = frozenset({
+    "id", "hash", "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow", "datetime.now",
+    "datetime.utcnow", "datetime.today", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today", "date.today",
+})
+
+#: Exact external dotted names whose call result is order-tainted.
+_ORDER_CALLS = frozenset({
+    "as_completed", "futures.as_completed",
+    "concurrent.futures.as_completed", "os.listdir", "os.scandir",
+    "glob.glob", "glob.iglob",
+})
+
+#: Unqualified call names that clear ``order`` taint from their result.
+_ORDER_NEUTRAL = frozenset({"sorted", "min", "max"})
+
+#: Unqualified call names that clear every taint (deterministic scalars).
+_ALL_NEUTRAL = frozenset({"len", "isinstance", "issubclass", "type"})
+
+#: Module suffix exempt from RNG sources (the sanctioned RNG plumbing).
+_RNG_EXEMPT_SUFFIX = "repro/utils/rng.py"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One taint fact: kind, human-readable source, and its hop trace."""
+
+    kind: str
+    source: str
+    trace: Tuple[str, ...] = ()
+
+    def hop(self, entry: str) -> "Taint":
+        """This taint extended by one trace hop (middle-elided at cap)."""
+        trace = self.trace + (entry,)
+        if len(trace) > MAX_TRACE:
+            trace = trace[:4] + ("...",) + trace[-(MAX_TRACE - 5):]
+        return Taint(self.kind, self.source, trace)
+
+
+TaintSet = FrozenSet[Taint]
+EMPTY: TaintSet = frozenset()
+
+
+def concrete(taints: TaintSet) -> TaintSet:
+    """The non-symbolic subset."""
+    return frozenset(t for t in taints if t.kind != PARAM)
+
+
+def params_of(taints: TaintSet) -> Set[str]:
+    """Names of parameters whose symbolic taint is present."""
+    return {t.source for t in taints if t.kind == PARAM}
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A concrete taint observed at a sink."""
+
+    path: str
+    line: int
+    sink: str
+    func: str         #: short name of the function holding the sink
+    taint: Taint
+
+
+@dataclass(frozen=True)
+class ParamSink:
+    """A parameter flowing into a sink inside (or below) a function."""
+
+    param: str
+    sink: str
+    hops: Tuple[str, ...]
+
+
+@dataclass
+class FunctionSummary:
+    """What a function does with taint, as seen from its callers."""
+
+    ret_taints: TaintSet = EMPTY
+    #: param name -> trace hops showing how it reaches the return value
+    ret_params: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    sink_hits: Tuple[SinkHit, ...] = ()
+    param_sinks: Tuple[ParamSink, ...] = ()
+
+    def key(self) -> Tuple:
+        """Comparable fingerprint for fixpoint detection."""
+        return (self.ret_taints, tuple(sorted(self.ret_params)),
+                self.sink_hits, self.param_sinks)
+
+
+class SinkSpec:
+    """What counts as a determinism sink.  Subclassed by the rule."""
+
+    def return_sink(self, info: FunctionInfo) -> Optional[str]:
+        """Sink description when *info*'s return value is a sink."""
+        return None
+
+    def call_arg_sinks(self, info: FunctionInfo, call: ast.Call,
+                       target: object
+                       ) -> List[Tuple[str, ast.expr]]:
+        """``(sink description, argument expression)`` pairs to check."""
+        return []
+
+
+class TaintAnalysis:
+    """Fixpoint taint summaries for every function of a call graph."""
+
+    def __init__(self, graph: CallGraph,
+                 sinks: Optional[SinkSpec] = None) -> None:
+        self.graph = graph
+        self.sinks = sinks or SinkSpec()
+        self.summaries: Dict[str, FunctionSummary] = {
+            q: FunctionSummary() for q in graph.functions}
+        self._run_fixpoint()
+
+    def _run_fixpoint(self) -> None:
+        order = sorted(self.graph.functions)
+        for _ in range(MAX_PASSES):
+            changed = False
+            for qname in order:
+                info = self.graph.functions[qname]
+                new = _FunctionWalk(self, info).run()
+                if new.key() != self.summaries[qname].key():
+                    self.summaries[qname] = new
+                    changed = True
+            if not changed:
+                break
+
+    def all_sink_hits(self) -> List[SinkHit]:
+        """Every concrete sink hit, in deterministic order."""
+        hits: List[SinkHit] = []
+        for qname in sorted(self.summaries):
+            hits.extend(self.summaries[qname].sink_hits)
+        return hits
+
+
+class _FunctionWalk:
+    """One forward taint pass over one function body."""
+
+    def __init__(self, analysis: TaintAnalysis, info: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.sinks = analysis.sinks
+        self.info = info
+        env = self.graph.env_for(info.module)
+        assert env is not None
+        self.resolver = Resolver(self.graph, env, info)
+        self.state: Dict[str, TaintSet] = {
+            name: frozenset({Taint(PARAM, name)}) for name in info.params}
+        self.set_typed: Set[str] = set()
+        self.ret_taints: Set[Taint] = set()
+        self.ret_params: Dict[str, Tuple[str, ...]] = {}
+        self.sink_hits: List[SinkHit] = []
+        self.param_sinks: List[ParamSink] = []
+
+    # -- driver --------------------------------------------------------- #
+
+    def run(self) -> FunctionSummary:
+        self.exec_block(self.info.node.body)
+        return FunctionSummary(
+            ret_taints=frozenset(self.ret_taints),
+            ret_params=dict(self.ret_params),
+            sink_hits=tuple(dict.fromkeys(self.sink_hits)),
+            param_sinks=tuple(dict.fromkeys(self.param_sinks)))
+
+    def _site(self) -> str:
+        return self.info.module.rel
+
+    def _hop(self, line: int, what: str) -> str:
+        return f"{self._site()}:{line} {what}"
+
+    # -- statements ----------------------------------------------------- #
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, taints, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.assign(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value) | self.eval(stmt.target)
+            self.assign(stmt.target, taints, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taints = self.eval(stmt.value)
+                self._record_return(stmt, taints)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.body)       # one extra pass for back-edges
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taints,
+                                item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # Nested defs/classes are analysed as their own functions.
+
+    def _exec_for(self, stmt) -> None:
+        taints = self.eval(stmt.iter)
+        taints |= self._iteration_order_taint(stmt.iter)
+        self.assign(stmt.target, taints, stmt.iter)
+        self.exec_block(stmt.body)
+        self.exec_block(stmt.body)           # one extra pass for back-edges
+        self.exec_block(stmt.orelse)
+
+    def _iteration_order_taint(self, iter_expr: ast.expr) -> TaintSet:
+        """Order taint when iterating a set-typed expression."""
+        is_set = isinstance(iter_expr, (ast.Set, ast.SetComp))
+        if isinstance(iter_expr, ast.Name) and iter_expr.id in self.set_typed:
+            is_set = True
+        if isinstance(iter_expr, ast.Call):
+            fn = iter_expr.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                is_set = True
+        if not is_set:
+            return EMPTY
+        line = iter_expr.lineno
+        return frozenset({Taint(
+            ORDER, "set/frozenset iteration order",
+            trace=(self._hop(line, "iterates a set (unordered)"),))})
+
+    def _record_return(self, stmt: ast.Return, taints: TaintSet) -> None:
+        hop = self._hop(stmt.lineno, f"returned by {self.info.short}()")
+        for t in concrete(taints):
+            self.ret_taints.add(t.hop(hop))
+        for name in params_of(taints):
+            self.ret_params.setdefault(name, (hop,))
+        sink = self.sinks.return_sink(self.info)
+        if sink is not None:
+            self._check_sink(sink, stmt.lineno, taints, at_return=True)
+
+    def _check_sink(self, sink: str, line: int, taints: TaintSet,
+                    *, at_return: bool = False) -> None:
+        hop = self._hop(line, f"reaches {sink}")
+        for t in concrete(taints):
+            self.sink_hits.append(SinkHit(
+                path=self.info.module.rel, line=line, sink=sink,
+                func=self.info.short, taint=t.hop(hop)))
+        for name in params_of(taints):
+            self.param_sinks.append(ParamSink(param=name, sink=sink,
+                                              hops=(hop,)))
+
+    # -- assignment targets --------------------------------------------- #
+
+    def assign(self, target: ast.expr, taints: TaintSet,
+               value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self.state[target.id] = taints
+            if value is not None:
+                self.resolver.note_assignment(target.id, value)
+                self._note_set_typed(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, taints, None)
+        elif isinstance(target, ast.Subscript):
+            # Container write: the container accumulates the taint.
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.state[base.id] = self.state.get(base.id, EMPTY) | taints
+        # Attribute stores drop taint by design (see module docstring).
+
+    def _note_set_typed(self, name: str, value: ast.expr) -> None:
+        is_set = isinstance(value, (ast.Set, ast.SetComp))
+        if isinstance(value, ast.Call):
+            fn = value.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                is_set = True
+            if isinstance(fn, ast.Attribute) and fn.attr in (
+                    "union", "intersection", "difference",
+                    "symmetric_difference", "copy") \
+                    and isinstance(fn.value, ast.Name) \
+                    and fn.value.id in self.set_typed:
+                is_set = True
+        if isinstance(value, ast.Name) and value.id in self.set_typed:
+            is_set = True
+        if is_set:
+            self.set_typed.add(name)
+        else:
+            self.set_typed.discard(name)
+
+    # -- expressions ---------------------------------------------------- #
+
+    def eval(self, expr: Optional[ast.expr]) -> TaintSet:
+        if expr is None:
+            return EMPTY
+        if isinstance(expr, ast.Constant):
+            return EMPTY
+        if isinstance(expr, ast.Name):
+            return self.state.get(expr.id, EMPTY)
+        if isinstance(expr, ast.Attribute):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self.eval(expr.value) | self.eval(expr.slice)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, (ast.BinOp, ast.BoolOp, ast.Compare,
+                             ast.UnaryOp, ast.IfExp, ast.JoinedStr,
+                             ast.FormattedValue, ast.Starred, ast.Await,
+                             ast.Yield, ast.YieldFrom, ast.Slice)):
+            out: TaintSet = EMPTY
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    out |= self.eval(child)
+            return out
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for elt in expr.elts:
+                out |= self.eval(elt)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = EMPTY
+            for key in expr.keys:
+                if key is not None:
+                    out |= self.eval(key)
+            for val in expr.values:
+                out |= self.eval(val)
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, ast.Lambda):
+            return EMPTY
+        return EMPTY
+
+    def _eval_comprehension(self, expr) -> TaintSet:
+        saved: Dict[str, Optional[TaintSet]] = {}
+        for gen in expr.generators:
+            taints = self.eval(gen.iter) | self._iteration_order_taint(gen.iter)
+            for name in _target_names(gen.target):
+                saved.setdefault(name, self.state.get(name))
+                self.state[name] = taints
+            for cond in gen.ifs:
+                self.eval(cond)
+        if isinstance(expr, ast.DictComp):
+            out = self.eval(expr.key) | self.eval(expr.value)
+        else:
+            out = self.eval(expr.elt)
+        for name, old in saved.items():
+            if old is None:
+                self.state.pop(name, None)
+            else:
+                self.state[name] = old
+        return out
+
+    # -- calls ---------------------------------------------------------- #
+
+    def eval_call(self, call: ast.Call) -> TaintSet:
+        target = self.resolver.resolve(call)
+        name = target_name(target)
+        arg_taints = [self.eval(a) for a in call.args]
+        kw_taints = {(kw.arg or "**"): self.eval(kw.value)
+                     for kw in call.keywords}
+        all_args: TaintSet = EMPTY
+        for t in arg_taints:
+            all_args |= t
+        for t in kw_taints.values():
+            all_args |= t
+        if isinstance(call.func, ast.Attribute):
+            # Method calls pass the receiver's taint through to the
+            # result (``future.result()``, ``payload.get(...)``).
+            all_args |= self.eval(call.func.value)
+
+        # Rule-specific argument sinks (SweepRow fields, span attrs, ...).
+        for sink, expr in self.sinks.call_arg_sinks(self.info, call, target):
+            self._check_sink(sink, call.lineno, self.eval(expr))
+
+        if isinstance(target, FunctionInfo):
+            return self._eval_internal_call(call, target, arg_taints,
+                                            kw_taints, all_args)
+        if isinstance(target, ClassInfo):
+            # Constructing an object from tainted inputs keeps the taint.
+            return all_args
+
+        # External / unresolved call: sources, neutralisers, passthrough.
+        short = name.rsplit(".", 1)[-1]
+        source = self._external_source(name, short, call)
+        if source is not None:
+            return all_args | frozenset({source})
+        if short in _ALL_NEUTRAL:
+            return EMPTY
+        if short in _ORDER_NEUTRAL:
+            return frozenset(t for t in all_args if t.kind != ORDER)
+        return all_args
+
+    def _external_source(self, name: str, short: str,
+                         call: ast.Call) -> Optional[Taint]:
+        """Match an external call against the source tables."""
+        line = call.lineno
+        parts = name.split(".")
+        if name in _VALUE_CALLS or (len(parts) == 2
+                                    and parts[0] == "datetime"
+                                    and short in ("now", "utcnow", "today")):
+            return Taint(VALUE, f"{name}()",
+                         trace=(self._hop(line, f"{name}() source"),))
+        if len(parts) >= 2 and parts[0] == "time" and short in _TIME_ATTRS:
+            return Taint(VALUE, f"time.{short}() wall-clock read",
+                         trace=(self._hop(line, f"time.{short}() source"),))
+        if name in _ORDER_CALLS or short == "imap_unordered":
+            return Taint(ORDER, f"{name}() completion/listing order",
+                         trace=(self._hop(line, f"{name}() source"),))
+        if self.info.module.rel.endswith(_RNG_EXEMPT_SUFFIX):
+            return None
+        if len(parts) >= 2 and parts[-2] == "random" \
+                and short in _NP_RANDOM_DRAWS:
+            return Taint(VALUE, f"unseeded module-level RNG draw {name}()",
+                         trace=(self._hop(line, f"{name}() source"),))
+        if len(parts) >= 2 and parts[-2] == "random" \
+                and short == "default_rng" and not call.args:
+            return Taint(VALUE, "np.random.default_rng() without a seed",
+                         trace=(self._hop(line, f"{name}() source"),))
+        if isinstance(call.func, ast.Attribute) and short == "pop" \
+                and isinstance(call.func.value, ast.Name) \
+                and call.func.value.id in self.set_typed and not call.args:
+            return Taint(ORDER, "set.pop() picks an arbitrary element",
+                         trace=(self._hop(line, "set.pop() source"),))
+        return None
+
+    def _eval_internal_call(self, call: ast.Call, callee: FunctionInfo,
+                            arg_taints: List[TaintSet],
+                            kw_taints: Dict[str, TaintSet],
+                            all_args: TaintSet) -> TaintSet:
+        summary = self.analysis.summaries.get(callee.qname)
+        if summary is None:
+            return all_args
+        line = call.lineno
+        result: Set[Taint] = set()
+        call_hop = self._hop(line, f"call {callee.short}()"
+                                   f" from {self.info.short}()")
+        for t in summary.ret_taints:
+            result.add(t.hop(call_hop))
+
+        # Map argument taints onto callee parameter names.
+        params = callee.params
+        bound: Dict[str, TaintSet] = {}
+        for i, taints in enumerate(arg_taints):
+            if i < len(params):
+                bound[params[i]] = taints
+        for name, taints in kw_taints.items():
+            if name == "**":
+                for p in params:
+                    bound[p] = bound.get(p, EMPTY) | taints
+            elif name in params:
+                bound[name] = bound.get(name, EMPTY) | taints
+
+        for pname, hops in summary.ret_params.items():
+            for t in bound.get(pname, EMPTY):
+                passed = t.hop(self._hop(
+                    line, f"passed to {callee.short}({pname})"))
+                for hop in hops:
+                    passed = passed.hop(hop)
+                result.add(passed)
+        for psink in summary.param_sinks:
+            taints = bound.get(psink.param, EMPTY)
+            into = self._hop(line, f"passed to {callee.short}"
+                                   f"({psink.param})")
+            for t in concrete(taints):
+                hit = t.hop(into)
+                for hop in psink.hops:
+                    hit = hit.hop(hop)
+                self.sink_hits.append(SinkHit(
+                    path=self.info.module.rel, line=line, sink=psink.sink,
+                    func=self.info.short, taint=hit))
+            for name in params_of(taints):
+                self.param_sinks.append(ParamSink(
+                    param=name, sink=psink.sink,
+                    hops=(into,) + psink.hops))
+        return frozenset(result)
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+        out: List[str] = []
+        for child in ast.iter_child_nodes(target):
+            if isinstance(child, ast.expr):
+                out.extend(_target_names(child))
+        return out
+    return []
+
+
+def render_trace(taint: Taint) -> str:
+    """``source -> hop -> ... -> sink`` rendering for finding hints."""
+    return " -> ".join(taint.trace) if taint.trace else taint.source
+
+
+__all__ = ["Taint", "TaintSet", "TaintAnalysis", "FunctionSummary",
+           "SinkSpec", "SinkHit", "ParamSink", "render_trace", "concrete",
+           "params_of", "ORDER", "VALUE", "PARAM", "EMPTY", "MAX_TRACE",
+           "MAX_PASSES"]

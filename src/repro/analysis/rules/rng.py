@@ -14,12 +14,19 @@ Scope: modules inside the ``repro`` package, except ``repro/utils/rng.py``
 itself (the one place allowed to touch numpy's constructors).  Tests are
 exempt — pinning ``np.random.default_rng(seed)`` in a test is the
 discipline working, not a violation.
+
+Threaded generators are the *point* of the discipline, so they are never
+flagged: a parameter annotated ``numpy.random.Generator`` (any annotation
+containing the word ``Generator``) may be drawn from freely — including
+when the parameter is named ``random`` — and importing ``Generator``
+from ``numpy.random`` for annotations is not a direct-use violation.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+import re
+from typing import FrozenSet, Iterator
 
 from repro.analysis.engine import Finding, Project, iter_call_name
 
@@ -40,6 +47,30 @@ _STDLIB_RANDOM_BANNED = frozenset({
 
 _EXEMPT_SUFFIX = "repro/utils/rng.py"
 
+#: ``numpy.random`` names that are types used in annotations, not draws.
+_TYPE_ONLY_IMPORTS = frozenset({"Generator", "BitGenerator"})
+
+_GENERATOR_ANN_RE = re.compile(r"\bGenerator\b")
+
+
+def _annotation_text(node: "ast.expr | None") -> str:
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return ""
+
+
+def _generator_params(node: ast.AST) -> FrozenSet[str]:
+    """Parameters of *node* annotated as a numpy ``Generator``."""
+    args = node.args
+    return frozenset(
+        a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        if _GENERATOR_ANN_RE.search(_annotation_text(a.annotation)))
+
 
 class RngDisciplineRule:
     """Flag direct RNG construction/draws outside ``repro.utils.rng``."""
@@ -59,11 +90,22 @@ class RngDisciplineRule:
                 if isinstance(node, ast.ImportFrom) and node.module in (
                         "numpy.random", "random"):
                     for alias in node.names:
+                        if node.module == "numpy.random" \
+                                and alias.name in _TYPE_ONLY_IMPORTS:
+                            continue  # imported for annotations, not draws
                         direct_names.add(alias.asname or alias.name)
-            for node in ast.walk(mod.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                chain = iter_call_name(node)
+            yield from self._visit(mod, mod.tree, direct_names, frozenset())
+
+    def _visit(self, mod, node: ast.AST, direct_names: "set[str]",
+               rng_params: FrozenSet[str]) -> Iterator[Finding]:
+        """Walk *node*, tracking Generator-annotated params in scope."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            rng_params = rng_params | _generator_params(node)
+        if isinstance(node, ast.Call):
+            chain = iter_call_name(node)
+            # Draws off a threaded Generator parameter are the sanctioned
+            # pattern, whatever the parameter is called.
+            if not (chain and chain[0] in rng_params):
                 offender = self._offender(chain, direct_names)
                 if offender:
                     yield Finding(
@@ -75,6 +117,8 @@ class RngDisciplineRule:
                              "repro.utils.rng.as_rng(seed) (or spawn_rngs "
                              "for per-trial children); or add "
                              "'# repro: allow[rng-discipline]' with a reason")
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(mod, child, direct_names, rng_params)
 
     @staticmethod
     def _offender(chain: "list[str]", direct_names: "set[str]") -> str:

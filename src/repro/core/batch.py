@@ -545,6 +545,10 @@ class BatchPlannerKernel:
         ``seconds`` (excluded from determinism comparisons like every
         measured wall-clock).
         """
+        # Batch publishes only the grouping-invariant counters (see the
+        # docstring); the per-site rescore counters have no batch
+        # equivalent by construction.
+        # repro: allow[flow-parity] -- grouping-invariant keys only
         return {
             "engine": "batch",
             "insertions": int(self._insertions[b]),

@@ -85,6 +85,9 @@ class ArtifactCache:
     def _site_key(self, network: SensorNetwork, radio: RadioModel,
                   delta: float) -> _SiteKey:
         self._pins[id(network)] = network
+        # _pins keeps the network alive, so id() is stable for the cache
+        # lifetime and the key never leaves this process.
+        # repro: allow[flow-determinism] -- process-local cache key
         return (id(network), float(delta), float(radio.bandwidth),
                 float(radio.coverage_radius))
 

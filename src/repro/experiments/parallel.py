@@ -292,6 +292,10 @@ def run_sweep_parallel(
                 for future in as_completed(futures):
                     payload = json.loads(future.result())
                     if "cell" in payload:
+                        # Each row is computed whole inside one worker and
+                        # indexed by its cell, so completion order only
+                        # affects *when* a slot fills, never its value.
+                        # repro: allow[flow-determinism] -- order-insensitive
                         results[payload["cell"]] = SweepRow(**payload["row"])
                     else:
                         s_idx = payload["column"]
@@ -305,7 +309,7 @@ def run_sweep_parallel(
                                 samples = [pending[i][v_idx]
                                            for i in range(len(instances))]
                                 results[v_idx * n_specs + s_idx] = \
-                                    _aggregate_samples(
+                                    _aggregate_samples(  # repro: allow[flow-determinism] -- samples re-sorted into instance order above
                                         param_name, value,
                                         algorithms[s_idx], samples)
                     if payload["cache"] is not None:

@@ -1,0 +1,18 @@
+"""Wall-clock helper for the ``flow-determinism`` fixture package.
+
+:func:`jitter` is the nondeterminism *source* of the fixture: its return
+value carries wall-clock taint, which the planner module then threads
+through a private helper into a planner return — the multi-hop path the
+rule must reconstruct.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["jitter"]
+
+
+def jitter() -> float:
+    """A nondeterministic pad read from the wall clock."""
+    return time.perf_counter() % 1.0

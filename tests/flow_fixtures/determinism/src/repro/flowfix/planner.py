@@ -1,0 +1,51 @@
+"""Planner fixtures exercising every ``flow-determinism`` verdict.
+
+* :func:`plan_fixture` — **true positive**: wall-clock taint from
+  :func:`repro.flowfix.clock.jitter` crosses two function boundaries
+  (``jitter -> _pad -> plan_fixture``) before reaching the planner
+  return value;
+* :func:`trace_fixture` — **true positive**: the same taint lands on a
+  traced span attribute;
+* :func:`unstable_key` — **suppressed**: an ``id()``-based cache key
+  with an inline ``allow`` directive;
+* :func:`plan_quiet` / :func:`stable_key` — **negatives**: ordering is
+  neutralised by ``sorted`` and the key is built from stable data.
+"""
+
+from __future__ import annotations
+
+from repro.flowfix.clock import jitter
+
+__all__ = ["plan_fixture", "plan_quiet", "stable_key", "trace_fixture",
+           "unstable_key"]
+
+
+def _pad(base: float) -> float:
+    """Intermediate hop between the clock source and the planner sink."""
+    return base + jitter()
+
+
+def plan_fixture(n: int) -> "CollectionTour":
+    """Deliberately nondeterministic planner (true positive)."""
+    return _pad(float(n))
+
+
+def plan_quiet(sites: list) -> "CollectionTour":
+    """Deterministic planner: sorted input, no sources (negative)."""
+    return sorted(sites)
+
+
+def trace_fixture(tracer, n: int) -> None:
+    """Span attribute fed from the wall clock (true positive)."""
+    tracer.span("fix.plan", pad=_pad(float(n)))
+
+
+def unstable_key(obj: object) -> str:
+    """An ``id()`` cache key, sanctioned for this fixture (suppressed)."""
+    # repro: allow[flow-determinism] -- fixture: suppressed on purpose
+    return str(id(obj))
+
+
+def stable_key(name: str) -> str:
+    """A cache key built from stable data only (negative)."""
+    return "site:" + name

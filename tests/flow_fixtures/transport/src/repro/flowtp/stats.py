@@ -1,0 +1,18 @@
+"""Aggregation helper for the ``flow-transport`` fixture package.
+
+:func:`summarize` is unannotated on purpose: the JSON-safety lattice has
+to classify it by recursively classifying its return expression, where
+the ``np.mean`` call makes the dict value a numpy scalar — the classic
+"works locally, breaks ``json.dumps`` in the worker" bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["summarize"]
+
+
+def summarize(values):
+    """Mean of *values* — as a numpy scalar, which JSON cannot encode."""
+    return {"mean": np.mean(values)}

@@ -1,0 +1,42 @@
+"""Worker-boundary fixtures exercising every ``flow-transport`` verdict.
+
+* :func:`work_unit` — **true positive**: the worker entry returns the
+  result of :func:`repro.flowtp.stats.summarize`, whose numpy scalar is
+  only visible by following the call (multi-hop evidence);
+* :func:`noisy_unit` — **suppressed**: returns ``bytes`` across the
+  boundary under an inline ``allow`` directive;
+* :func:`clean_unit` — **negative**: provably JSON-safe scalars only.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.flowtp.stats import summarize
+
+__all__ = ["clean_unit", "noisy_unit", "run_pool", "work_unit"]
+
+
+def work_unit(values):
+    """Worker entry whose return hides a numpy scalar (true positive)."""
+    return summarize(values)
+
+
+def clean_unit(values):
+    """Worker entry returning plain JSON scalars (negative)."""
+    return {"mean": float(sum(values)) / max(len(values), 1)}
+
+
+def noisy_unit(payload: bytes):
+    """Worker entry shipping raw bytes back, sanctioned here (suppressed)."""
+    # repro: allow[flow-transport] -- fixture: suppressed on purpose
+    return payload
+
+
+def run_pool(groups, raw):
+    """Submission site that makes the three entries worker entries."""
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work_unit, group) for group in groups]
+        futures += [pool.submit(clean_unit, group) for group in groups]
+        futures.append(pool.submit(noisy_unit, raw))
+        return [future.result() for future in futures]

@@ -111,6 +111,45 @@ class TestSuppression:
         project = self.make(tmp_path, "x = 1  # repro: allow[*]\n")
         assert run_rules(project, [EchoRule(line=1)]) == []
 
+    def test_directive_above_decorator_reaches_decorated_def(self, tmp_path):
+        # A finding anchored on the `def` line of a decorated function is
+        # covered by a directive written where humans write it: above the
+        # decorator stack.
+        project = self.make(tmp_path, """
+            # repro: allow[echo] -- decorated def
+            @staticmethod
+            @property
+            def f():
+                return 1
+        """)
+        assert run_rules(project, [EchoRule(line=5)]) == []
+
+    def test_directive_on_decorator_line_reaches_decorated_def(self, tmp_path):
+        project = self.make(tmp_path, """
+            @staticmethod  # repro: allow[echo]
+            def f():
+                return 1
+        """)
+        assert run_rules(project, [EchoRule(line=3)]) == []
+
+    def test_decorated_def_other_rule_still_reported(self, tmp_path):
+        project = self.make(tmp_path, """
+            # repro: allow[other]
+            @staticmethod
+            def f():
+                return 1
+        """)
+        assert len(run_rules(project, [EchoRule(line=4)])) == 1
+
+    def test_code_above_decorator_does_not_suppress(self, tmp_path):
+        project = self.make(tmp_path, """
+            x = 1  # repro: allow[echo]
+            @staticmethod
+            def f():
+                return 1
+        """)
+        assert len(run_rules(project, [EchoRule(line=4)])) == 1
+
     def test_other_rule_allow_does_not_suppress(self, tmp_path):
         project = self.make(tmp_path, "x = 1  # repro: allow[other]\n")
         assert len(run_rules(project, [EchoRule(line=1)])) == 1

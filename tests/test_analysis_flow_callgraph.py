@@ -1,0 +1,117 @@
+"""Unit tests for the flow layer's call-graph construction."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Project
+from repro.analysis.flow.callgraph import (
+    QSEP,
+    build_call_graph,
+    short_name,
+)
+
+
+def write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def graph_for(tmp_path, files):
+    for rel, text in files.items():
+        write(tmp_path / rel, text)
+    project = Project.load(tmp_path, [Path("src")])
+    return build_call_graph(project)
+
+
+TWO_MODULES = {
+    "src/repro/pkg/util.py": (
+        "import time\n"
+        "__all__ = ['stamp']\n"
+        "def stamp() -> float:\n"
+        "    return time.perf_counter()\n"
+    ),
+    "src/repro/pkg/core.py": (
+        "from repro.pkg.util import stamp\n"
+        "__all__ = ['Engine', 'run']\n"
+        "class Engine:\n"
+        "    def step(self) -> float:\n"
+        "        return self.helper()\n"
+        "    def helper(self) -> float:\n"
+        "        return stamp()\n"
+        "def run() -> float:\n"
+        "    eng = Engine()\n"
+        "    return eng.step()\n"
+    ),
+}
+
+
+class TestBuild:
+    def test_functions_and_methods_are_registered(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        qnames = set(graph.functions)
+        assert "repro.pkg.util:stamp" in qnames
+        assert "repro.pkg.core:Engine.step" in qnames
+        assert "repro.pkg.core:Engine.helper" in qnames
+        assert "repro.pkg.core:run" in qnames
+
+    def test_cross_module_from_import_edge_resolves(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        edges = graph.callees("repro.pkg.core:Engine.helper")
+        assert any(e.callee == "repro.pkg.util:stamp" and not e.external
+                   for e in edges)
+
+    def test_self_method_call_resolves(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        edges = graph.callees("repro.pkg.core:Engine.step")
+        assert any(e.callee == "repro.pkg.core:Engine.helper"
+                   and not e.external for e in edges)
+
+    def test_local_typed_var_method_call_resolves(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        edges = graph.callees("repro.pkg.core:run")
+        assert any(e.callee == "repro.pkg.core:Engine.step"
+                   and not e.external for e in edges)
+
+    def test_external_call_keeps_dotted_chain(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        edges = graph.callees("repro.pkg.util:stamp")
+        assert any(e.callee == "time.perf_counter" and e.external
+                   for e in edges)
+
+    def test_reachability_walks_cross_module(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        seen = graph.reachable_from(["repro.pkg.core:run"])
+        assert "repro.pkg.util:stamp" in seen
+        assert "repro.pkg.core:Engine.helper" in seen
+
+
+class TestExport:
+    def test_json_shape_is_versioned_and_sorted(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        payload = graph.to_json_dict()
+        assert payload["version"] == 1
+        qnames = [f["qname"] for f in payload["functions"]]
+        assert qnames == sorted(qnames)
+        assert all({"caller", "callee", "line", "external"} <= set(e)
+                   for e in payload["edges"])
+        json.dumps(payload)  # must be serialisable as-is
+
+    def test_dot_export_is_a_digraph(self, tmp_path):
+        graph = graph_for(tmp_path, TWO_MODULES)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert "repro.pkg.util:stamp" in dot
+
+
+class TestShortName:
+    def test_strips_module_qualifier_and_class_path(self):
+        assert short_name("repro.experiments.runner:SweepRow") == "SweepRow"
+        assert short_name("repro.obs.tracer:span") == "span"
+        assert short_name(f"repro.core.kernel{QSEP}PlannerKernel.perf") \
+            == "perf"
+
+    def test_external_dotted_names(self):
+        assert short_name("concurrent.futures.as_completed") == "as_completed"
+        assert short_name("span") == "span"

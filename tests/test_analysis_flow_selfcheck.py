@@ -1,0 +1,30 @@
+"""The ``--flow`` acceptance criteria as tests.
+
+The repo's own ``src`` tree must be clean under the interprocedural
+rules with the shipped (empty) baseline, and the whole flow pass —
+call graph, taint fixpoint, all three rules — must stay fast enough for
+the CI ``lint-flow`` job's 30-second pin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.cli import check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_src_tree_is_flow_clean():
+    findings = check_paths(REPO_ROOT, [REPO_ROOT / "src"], flow=True)
+    assert findings == [], "\n".join(f.location + " " + f.message
+                                     for f in findings)
+
+
+def test_flow_pass_is_fast_enough_for_ci():
+    start = time.perf_counter()
+    check_paths(REPO_ROOT, [REPO_ROOT / "src"], flow=True)
+    elapsed_s = time.perf_counter() - start
+    assert elapsed_s < 30.0, (
+        f"flow pass took {elapsed_s:.1f}s; the CI lint-flow job pins 30s")

@@ -82,6 +82,54 @@ class TestRngDiscipline:
         project = Project.load(tmp_path, [tmp_path / "tests"])
         assert rule_findings(project, RngDisciplineRule()) == []
 
+    def test_generator_param_draws_are_sanctioned(self, tmp_path):
+        # Threaded-RNG discipline: drawing from a parameter annotated
+        # numpy.random.Generator is the approved pattern, even when the
+        # parameter is literally named `random`.
+        project = make_project(tmp_path, {"src/repro/net/gen.py": """
+            import numpy as np
+
+            def sample(random: np.random.Generator, n: int) -> float:
+                return float(random.uniform(0.0, 1.0, n).sum())
+
+            def jitter(rng: "np.random.Generator") -> float:
+                return float(rng.normal())
+        """})
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+    def test_generator_type_import_is_not_direct_use(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/net/gen.py": """
+            from numpy.random import Generator
+
+            def rewrap(gen: Generator) -> float:
+                return float(gen.normal())
+        """})
+        assert rule_findings(project, RngDisciplineRule()) == []
+
+    def test_unannotated_random_param_still_fires(self, tmp_path):
+        # Without the Generator annotation the `random.*` chain still
+        # looks like module-level state and keeps firing.
+        project = make_project(tmp_path, {"src/repro/net/gen.py": """
+            def sample(random, n):
+                return random.uniform(0.0, 1.0, n)
+        """})
+        found = rule_findings(project, RngDisciplineRule())
+        assert len(found) == 1
+        assert "random.uniform" in found[0].message
+
+    def test_generator_param_does_not_leak_across_functions(self, tmp_path):
+        project = make_project(tmp_path, {"src/repro/net/gen.py": """
+            import numpy as np
+
+            def ok(random: np.random.Generator):
+                return random.normal()
+
+            def bad(n):
+                return np.random.uniform(0.0, 1.0, n)
+        """})
+        found = rule_findings(project, RngDisciplineRule())
+        assert [f.line for f in found] == [8]
+
     def test_fires_on_stdlib_random_and_from_import(self, tmp_path):
         bad = """
             import random
