@@ -1,0 +1,179 @@
+"""Run-ledger benchmark: emission overhead and regression-gate demo.
+
+Two claims of the observability PR are pinned here:
+
+1. **Overhead** — running a Fig. 5 capacity sweep with the run ledger
+   active (one ``planner.call`` record per instance plan plus one
+   ``sweep.cell`` record per cell, streamed to a JSONL file) costs under
+   a couple of percent of the sweep's wall-clock, and the deterministic
+   row views stay bitwise-identical with the ledger on or off.
+2. **Gate correctness** — ``repro-bench``-style compares do their job:
+   an identical re-run of the smoke suite passes the gate, and a run
+   with an injected per-case sleep (``REPRO_BENCH_INJECT_SLEEP_S``)
+   fails it.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_ledger.py --out BENCH_PR8.json
+
+The committed ``BENCH_PR8.json`` records the reference numbers; the
+script self-checks both claims and exits non-zero when either breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+from repro.experiments.config import reduced_settings
+from repro.experiments.fig5 import run_fig5
+from repro.obs.bench import ENV_INJECT_SLEEP, run_suite
+from repro.obs.ledger import Ledger, ledger_active
+from repro.obs.regress import Thresholds, compare
+
+
+def _bench_config(nodes: int, instances: int):
+    return reduced_settings().scaled(
+        n_nodes=nodes, n_instances=instances, seed=20200518)
+
+
+def _run_sweep(config, *, ledger, repeats: int):
+    """Best-of-*repeats* wall time of one Fig. 5 sweep; rows of the last."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with ledger_active(ledger):
+            result = run_fig5(config, jobs=1, cache=True)
+        times.append(time.perf_counter() - start)
+    return min(times), [row.deterministic_dict() for row in result.rows]
+
+
+def _overhead(config, repeats: int, ledger_path) -> Dict[str, Any]:
+    # One untimed warm-up sweep so the ledger-off mode is not charged
+    # the process's cold numpy/code-path costs.
+    print("warm-up sweep (untimed)...", file=sys.stderr)
+    _run_sweep(config, ledger=None, repeats=1)
+    print("running Fig. 5 sweep, ledger off...", file=sys.stderr)
+    off_s, off_rows = _run_sweep(config, ledger=None, repeats=repeats)
+    print(f"  {off_s:.2f} s", file=sys.stderr)
+    print("running Fig. 5 sweep, ledger on (JSONL-backed)...",
+          file=sys.stderr)
+    ledger = None
+    on_times = []
+    on_rows = None
+    for _ in range(repeats):
+        if ledger_path.exists():
+            ledger_path.unlink()           # ledgers append; time a fresh one
+        ledger = Ledger(ledger_path)
+        start = time.perf_counter()
+        with ledger_active(ledger):
+            result = run_fig5(config, jobs=1, cache=True)
+        on_times.append(time.perf_counter() - start)
+        on_rows = [row.deterministic_dict() for row in result.rows]
+    on_s = min(on_times)
+    print(f"  {on_s:.2f} s, {len(ledger)} record(s)", file=sys.stderr)
+    return {
+        "ledger_off_wall_s": round(off_s, 4),
+        "ledger_on_wall_s": round(on_s, 4),
+        "overhead_pct": round(100.0 * (on_s - off_s) / off_s, 2),
+        "ledger_records": len(ledger),
+        "rows_identical": on_rows == off_rows,
+    }
+
+
+def _gate_demo(tmp_dir) -> Dict[str, Any]:
+    """Smoke-suite gate demo: identical re-run passes, slowdown fails."""
+    thresholds = Thresholds(time_ratio=1.5, min_time_s=1e-4)
+    print("gate demo: baseline smoke suite...", file=sys.stderr)
+    base = run_suite("smoke", ledger=Ledger(tmp_dir / "base.jsonl"))
+    print("gate demo: identical re-run...", file=sys.stderr)
+    rerun = run_suite("smoke", ledger=Ledger(tmp_dir / "rerun.jsonl"))
+    rerun_report = compare(base.records(), rerun.records(), thresholds)
+
+    print("gate demo: re-run with 0.2s injected per-case sleep...",
+          file=sys.stderr)
+    os.environ[ENV_INJECT_SLEEP] = "0.2"
+    try:
+        slow = run_suite("smoke", ledger=Ledger(tmp_dir / "slow.jsonl"))
+    finally:
+        del os.environ[ENV_INJECT_SLEEP]
+    slow_report = compare(base.records(), slow.records(), thresholds)
+    return {
+        "thresholds": thresholds.as_dict(),
+        "identical_rerun_passed": rerun_report.passed,
+        "injected_sleep_failed": not slow_report.passed,
+        "injected_sleep_regressions": [
+            {"case": d.key[1], "reasons": list(d.reasons)}
+            for d in slow_report.regressions],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=120,
+                        help="sensor count |V| of the Fig. 5 sweep "
+                             "(default 120, the reduced paper scale)")
+    parser.add_argument("--instances", type=int, default=3,
+                        help="instances per data point (default 3)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed sweeps per mode, best kept (default 2)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    import tempfile
+    from pathlib import Path
+    config = _bench_config(args.nodes, args.instances)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = Path(tmp)
+        overhead = _overhead(config, args.repeats, tmp_dir / "sweep.jsonl")
+        gate = _gate_demo(tmp_dir)
+
+    failures = []
+    if not overhead["rows_identical"]:
+        failures.append("deterministic rows differ with the ledger on")
+    if not gate["identical_rerun_passed"]:
+        failures.append("identical re-run failed the gate")
+    if not gate["injected_sleep_failed"]:
+        failures.append("injected slowdown passed the gate")
+    for failure in failures:
+        print(f"FATAL: {failure}", file=sys.stderr)
+
+    report = {
+        "benchmark": "bench_ledger",
+        "campaign": {
+            "figure": "fig5",
+            "n_nodes": args.nodes,
+            "n_instances": args.instances,
+            "capacity_sweep": list(config.capacity_sweep),
+            "k_values": list(config.k_values),
+            "delta": config.delta,
+            "repeats": args.repeats,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "overhead": overhead,
+        "gate_demo": gate,
+        "self_check_passed": not failures,
+    }
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,9 @@
 Three registries gate how users reach the planners:
 
 * ``repro.core.planner.PLANNERS`` (method name -> description) must match
-  the ``method == "..."`` dispatch branches inside ``plan_tour`` exactly,
-  in both directions;
+  the ``method == "..."`` dispatch branches inside the facade (the
+  ``plan_tour`` entry point or its ``_dispatch`` helper) exactly, in both
+  directions;
 * ``repro.core.kernel.ENGINES`` must contain every ``engine=`` string
   default in the library (function defaults and ``kwargs.pop("engine",
   ...)`` fallbacks alike);
@@ -117,7 +118,7 @@ class RegistrySyncRule:
             return out
         for node in ast.walk(mod.tree):
             if not (isinstance(node, ast.FunctionDef)
-                    and node.name == "plan_tour"):
+                    and node.name in ("plan_tour", "_dispatch")):
                 continue
             for cmp_node in ast.walk(node):
                 if not isinstance(cmp_node, ast.Compare):

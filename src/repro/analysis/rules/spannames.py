@@ -17,13 +17,22 @@ by ``from repro.obs.tracer import span``) and method calls whose receiver
 looks like a tracer (``tracer.span(...)``, ``trace.span(...)``,
 ``obs.span(...)``, ``self.tracer.span(...)``, …).  Unrelated ``.span``
 attributes (e.g. a regex match span) do not fit those shapes.
+
+The same namespace covers the run ledger: ``record_event("...")`` event
+names, ``RunRecord(event="...")`` literals, and metric names registered
+on the *ambient* registry (``get_metrics().counter("...")`` and friends)
+must all be dotted ``family.verb`` paths — the regression observatory
+aggregates by these strings exactly as the trace report aggregates by
+span name.  Kernel-local registries (``self.metrics.counter("drains")``)
+are exempt: their short names are namespaced later by the perf fold
+(``kernel.*``) and are pinned by the ``meta["perf"]`` contract.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.analysis.engine import Finding, Project, iter_call_name
 
@@ -36,6 +45,10 @@ TRACER_RECEIVERS = frozenset({
 })
 
 
+#: Get-or-create methods of a :class:`~repro.obs.metrics.MetricsRegistry`.
+METRIC_METHODS = frozenset({"counter", "gauge", "histogram", "timer"})
+
+
 def _span_call_name(call: ast.Call) -> bool:
     """True when *call* is a recognised span-creation site."""
     chain = iter_call_name(call)
@@ -46,35 +59,87 @@ def _span_call_name(call: ast.Call) -> bool:
     return chain[-2] in TRACER_RECEIVERS     # tracer.span("..."), etc.
 
 
+def _first_arg_literal(call: ast.Call) -> Optional[str]:
+    """The call's first positional argument when it is a string literal."""
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return None
+
+
+def _named_literal(call: ast.Call) -> Optional[tuple]:
+    """``(name, what)`` for any recognised naming site of *call*.
+
+    Covers ledger event emission (``record_event("...")``, direct
+    ``RunRecord(event="...")`` construction) and ambient-registry metric
+    registration (``get_metrics().counter("...")`` etc. — the receiver
+    must literally be a ``get_metrics()`` call, which is what exempts
+    kernel-local registries).  Returns ``None`` when *call* is none of
+    those or the name is not a literal.
+    """
+    chain = iter_call_name(call)
+    if chain and chain[-1] == "record_event":
+        name = _first_arg_literal(call)
+        return (name, "ledger event") if name is not None else None
+    if chain and chain[-1] == "RunRecord":
+        for kw in call.keywords:
+            if kw.arg == "event" and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                return (kw.value.value, "ledger event")
+        return None
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in METRIC_METHODS \
+            and isinstance(func.value, ast.Call):
+        receiver = iter_call_name(func.value)
+        if receiver and receiver[-1] == "get_metrics":
+            name = _first_arg_literal(call)
+            if name is not None:
+                return (name, f"ambient {func.attr} metric")
+    return None
+
+
 class ObsSpanNamingRule:
     """Require ``<module>.<operation>`` dotted lowercase span names."""
 
     rule_id = "obs-span-naming"
-    description = ("span() names must be dotted lowercase paths "
-                   "(<module>.<operation>, e.g. 'kernel.rescore')")
+    description = ("span()/ledger-event/ambient-metric names must be dotted "
+                   "lowercase paths (<family>.<verb>, e.g. 'kernel.rescore')")
 
     def check(self, project: Project) -> Iterator[Finding]:
         for mod in project.repro_modules():
             if mod.tree is None:
                 continue
             for node in ast.walk(mod.tree):
-                if not isinstance(node, ast.Call) or not _span_call_name(node):
+                if not isinstance(node, ast.Call):
                     continue
-                if not node.args:
+                if _span_call_name(node):
+                    name = _first_arg_literal(node)
+                    if name is None:  # dynamic name: nothing to spell-check
+                        continue
+                    if SPAN_NAME_RE.match(name):
+                        continue
+                    yield Finding(
+                        rule=self.rule_id, path=mod.rel, line=node.lineno,
+                        message=f"span name {name!r} is not a dotted "
+                                "lowercase path (<module>.<operation>)",
+                        hint="rename it like 'kernel.rescore' / 'alg2.round' "
+                             "so report aggregation and trace grepping stay "
+                             "stable")
                     continue
-                first = node.args[0]
-                if not (isinstance(first, ast.Constant)
-                        and isinstance(first.value, str)):
-                    continue          # dynamic name: nothing to spell-check
-                name = first.value
+                named = _named_literal(node)
+                if named is None:
+                    continue
+                name, what = named
                 if SPAN_NAME_RE.match(name):
                     continue
                 yield Finding(
                     rule=self.rule_id, path=mod.rel, line=node.lineno,
-                    message=f"span name {name!r} is not a dotted lowercase "
-                            "path (<module>.<operation>)",
-                    hint="rename it like 'kernel.rescore' / 'alg2.round' so "
-                         "report aggregation and trace grepping stay stable")
+                    message=f"{what} name {name!r} is not a dotted "
+                            "lowercase path (<family>.<verb>)",
+                    hint="name it like 'planner.call' / 'sweep.cell' so "
+                         "ledger aggregation and regression matching stay "
+                         "stable")
 
 
-__all__ = ["ObsSpanNamingRule", "SPAN_NAME_RE", "TRACER_RECEIVERS"]
+__all__ = ["ObsSpanNamingRule", "SPAN_NAME_RE", "TRACER_RECEIVERS",
+           "METRIC_METHODS"]

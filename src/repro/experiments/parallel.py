@@ -53,9 +53,18 @@ from repro.experiments.runner import (
     format_progress,
     sweep_cells,
 )
+from repro.experiments.runner import _emit_sweep_records
 from repro.network.sensor_network import SensorNetwork
 from repro.network.serialization import networks_from_json, networks_to_json
-from repro.obs.shards import append_shard, merge_trace_shards, shard_path
+from repro.obs.ledger import Ledger, get_ledger, set_ledger
+from repro.obs.metrics import MetricsRegistry, get_metrics, metrics_scope
+from repro.obs.record import RunRecord
+from repro.obs.shards import (
+    append_shard,
+    merge_ledger_shards,
+    merge_trace_shards,
+    shard_path,
+)
 from repro.obs.tracer import Tracer, TracerLike, activated, span
 
 #: Worker-process state installed by :func:`_init_worker` (one per worker).
@@ -119,14 +128,30 @@ def _encode_column_unit(s_idx: int, instance: int, param_name: str,
 
 
 def _init_worker(config_json: str, instances_json: str, cache_enabled: bool,
-                 tracing: bool, shard_dir: Optional[str]) -> None:
-    """Per-worker setup: decode instances once, build cache and tracer."""
+                 tracing: bool, shard_dir: Optional[str],
+                 ledgering: bool = False, ledger_mem: bool = False,
+                 collect_metrics: bool = False) -> None:
+    """Per-worker setup: decode instances once, build cache/tracer/ledger.
+
+    When the parent has an active run ledger (``ledgering``), the worker
+    installs its own :class:`~repro.obs.ledger.Ledger` streaming to a
+    ``ledger-shard-<pid>.jsonl`` file — the facade's ``planner.call``
+    records land there and are merged back by the parent.  When the
+    parent has an ambient metrics registry (``collect_metrics``), each
+    work unit scopes a fresh registry and ships its snapshot home.
+    """
     config = ExperimentConfig.from_dict(json.loads(config_json))
     _WORKER["radio"] = config.radio_model()
     _WORKER["instances"] = networks_from_json(instances_json)
     _WORKER["cache"] = ArtifactCache() if cache_enabled else None
     _WORKER["tracer"] = Tracer() if tracing else None
     _WORKER["shard_dir"] = shard_dir
+    _WORKER["collect_metrics"] = collect_metrics
+    if ledgering and shard_dir is not None:
+        set_ledger(Ledger(shard_path(shard_dir, os.getpid(), kind="ledger"),
+                          track_memory=ledger_mem))
+    else:
+        set_ledger(None)        # never inherit a forked parent ledger
 
 
 def _plan_cell(unit_json: str) -> str:
@@ -136,7 +161,9 @@ def _plan_cell(unit_json: str) -> str:
     energy = EnergyModel(**unit["energy"])
     cache: Optional[ArtifactCache] = _WORKER["cache"]
     tracer: Optional[Tracer] = _WORKER["tracer"]
-    with activated(tracer):
+    registry = (MetricsRegistry() if _WORKER.get("collect_metrics")
+                else None)
+    with activated(tracer), metrics_scope(registry):
         with span("runner.cell", cell=unit["cell"],
                   param=unit["param_name"], value=unit["value"],
                   algorithm=spec.name, worker=os.getpid()):
@@ -148,6 +175,7 @@ def _plan_cell(unit_json: str) -> str:
     return json.dumps({
         "cell": unit["cell"],
         "worker": os.getpid(),
+        "metrics": registry.snapshot() if registry is not None else None,
         "row": {
             "param_name": row.param_name,
             "param_value": row.param_value,
@@ -185,7 +213,9 @@ def _plan_column(unit_json: str) -> str:
     net = _WORKER["instances"][unit["instance"]]
     cache: Optional[ArtifactCache] = _WORKER["cache"]
     tracer: Optional[Tracer] = _WORKER["tracer"]
-    with activated(tracer):
+    registry = (MetricsRegistry() if _WORKER.get("collect_metrics")
+                else None)
+    with activated(tracer), metrics_scope(registry):
         with span("runner.column", column=unit["column"],
                   instance=unit["instance"], param=unit["param_name"],
                   algorithm=spec.name, width=len(energies),
@@ -199,6 +229,7 @@ def _plan_column(unit_json: str) -> str:
         "column": unit["column"],
         "instance": unit["instance"],
         "worker": os.getpid(),
+        "metrics": registry.snapshot() if registry is not None else None,
         "samples": samples,
         "cache": cache.stats() if cache is not None else None,
     })
@@ -265,9 +296,12 @@ def run_sweep_parallel(
 
     with activated(trace) as active:
         tracing = bool(getattr(active, "enabled", False))
+        parent_ledger = get_ledger()
+        ledgering = parent_ledger is not None
+        ambient_metrics = get_metrics()
         own_shard_dir = shard_dir is None
         resolved_shard_dir: Optional[str] = None
-        if tracing:
+        if tracing or ledgering:
             resolved_shard_dir = (tempfile.mkdtemp(prefix="repro-shards-")
                                   if own_shard_dir else str(shard_dir))
 
@@ -284,7 +318,11 @@ def run_sweep_parallel(
                     initializer=_init_worker,
                     initargs=(json.dumps(config.as_dict()),
                               networks_to_json(instances),
-                              cache, tracing, resolved_shard_dir)) as pool:
+                              cache, tracing, resolved_shard_dir,
+                              ledgering,
+                              bool(parent_ledger is not None
+                                   and parent_ledger.track_memory),
+                              ambient_metrics is not None)) as pool:
                 futures = [pool.submit(_plan_cell, unit)
                            for unit in cell_units]
                 futures += [pool.submit(_plan_column, unit)
@@ -315,6 +353,12 @@ def run_sweep_parallel(
                     if payload["cache"] is not None:
                         worker_cache_stats[payload["worker"]] = \
                             payload["cache"]
+                    if (ambient_metrics is not None
+                            and payload.get("metrics")):
+                        # Snapshot merging is commutative (counters and
+                        # bucket counts add), so folding in completion
+                        # order still yields the jobs-independent totals.
+                        ambient_metrics.merge_snapshot(payload["metrics"])
                     # Report finished cells in canonical order only — the
                     # contiguous prefix — so the progress stream is
                     # deterministic no matter the completion order.
@@ -336,12 +380,25 @@ def run_sweep_parallel(
                               for s in worker_cache_stats.values()),
             }
         if resolved_shard_dir is not None:
-            merged = merge_trace_shards(resolved_shard_dir)
-            if isinstance(active, Tracer):
-                active.ingest(merged)
-            meta["trace_records"] = len(merged)
+            if tracing:
+                merged = merge_trace_shards(resolved_shard_dir)
+                if isinstance(active, Tracer):
+                    active.ingest(merged)
+                meta["trace_records"] = len(merged)
+            if ledgering and parent_ledger is not None:
+                # Worker records (the facade's planner.call entries) come
+                # home in canonical cell order, then the parent emits the
+                # per-cell aggregates itself — same rebase discipline as
+                # the trace shards, minus the id remapping records don't
+                # need.
+                shard_records = merge_ledger_shards(resolved_shard_dir)
+                parent_ledger.extend(
+                    RunRecord.from_dict(rec) for rec in shard_records)
+                meta["ledger_records"] = len(shard_records)
             if own_shard_dir:
                 shutil.rmtree(resolved_shard_dir, ignore_errors=True)
+        _emit_sweep_records(config, algorithms, param_name, param_values,
+                            rows, jobs=jobs, column_specs=column_specs)
     return SweepResult(config=config, rows=rows, meta=meta)
 
 

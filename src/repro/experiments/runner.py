@@ -53,16 +53,21 @@ from repro.energy.model import EnergyModel
 from repro.experiments.artifacts import ArtifactCache, resolve_cache
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
+from repro.obs.ledger import get_ledger, record_event
+from repro.obs.metrics import get_metrics
+from repro.obs.record import (
+    config_hash,
+    flatten_perf,
+    perf_counter_metrics,
+    sanitize_config,
+)
+from repro.obs.record import PERF_SECONDS_PREFIX  # re-export, shared def
 from repro.obs.tracer import TracerLike, activated, span
 from repro.sim.validate import cross_validate
 from repro.utils.timing import Timer
 
 #: MB per GB — figure axes in the paper are GB.
 MB_PER_GB = 1000.0
-
-#: ``perf`` key prefix holding measured wall-clock (excluded from
-#: determinism comparisons alongside ``mean_time_s``/``std_time_s``).
-PERF_SECONDS_PREFIX = "seconds."
 
 
 @dataclass(frozen=True)
@@ -155,18 +160,33 @@ def _flatten_perf(perf: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
     ``{"sites_rescored": 3, "seconds": {"rescore": 0.1}}`` becomes
     ``{"sites_rescored": 3.0, "seconds.rescore": 0.1}``.  Non-numeric
     leaves (e.g. the ``"engine"`` string) are skipped — the caller keeps
-    those out of the per-instance averages.
+    those out of the per-instance averages.  (Thin alias over the shared
+    :func:`repro.obs.record.flatten_perf`.)
     """
-    flat: Dict[str, float] = {}
-    for key, val in perf.items():
-        dotted = f"{prefix}{key}"
-        if isinstance(val, dict):
-            flat.update(_flatten_perf(val, prefix=f"{dotted}."))
-        elif isinstance(val, bool):
-            continue
-        elif isinstance(val, (int, float)):
-            flat[dotted] = float(val)
-    return flat
+    return flatten_perf(perf, prefix=prefix)
+
+
+def _fold_perf_ambient(perf: Optional[Dict[str, Any]]) -> None:
+    """Fold one tour's perf snapshot into the ambient metrics registry.
+
+    A no-op unless a :class:`~repro.obs.metrics.metrics_scope` is active.
+    Work counts become ``kernel.*`` counters (deterministic), the
+    measured ``seconds.*`` phases become ``kernel.*`` timers — so a whole
+    sweep's kernel work accumulates in one registry regardless of the
+    execution engine (the parallel executor scopes a fresh registry per
+    worker cell and merges the snapshots back,
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`).
+    """
+    registry = get_metrics()
+    if registry is None or not perf:
+        return
+    for key, value in flatten_perf(perf).items():
+        if key.startswith(PERF_SECONDS_PREFIX):
+            timer = registry.timer(
+                f"kernel.{key[len(PERF_SECONDS_PREFIX):]}")
+            timer.value += value
+        else:
+            registry.counter(f"kernel.{key}").inc(value)
 
 
 def sweep_cells(algorithms: Sequence[AlgoSpec],
@@ -192,6 +212,65 @@ def format_progress(cell_index: int, total: int, param_name: str,
             f"{param_name}={value:g} {row.algorithm}: "
             f"{row.mean_volume_gb:.2f} GB, "
             f"{row.mean_time_s:.2f} s")
+
+
+def _emit_sweep_records(config: ExperimentConfig,
+                        algorithms: Sequence[AlgoSpec],
+                        param_name: str,
+                        param_values: Sequence[float],
+                        rows: Sequence[SweepRow],
+                        *,
+                        jobs: int,
+                        column_specs: Sequence[int] = ()) -> None:
+    """Emit one ``sweep.cell`` ledger record per finished cell (plus one
+    ``sweep.column`` per batched column); a no-op when no ledger is active.
+
+    Called *after* every row exists — the parent emits these in canonical
+    cell order under every execution engine, and nothing here touches the
+    rows, so sweep outputs stay bitwise-identical with the ledger on or
+    off.  Cell wall-clock is the aggregate planning time
+    (``mean_time_s * n_instances``); the counters are the deterministic
+    per-instance means from ``row.perf``.
+    """
+    if get_ledger() is None:
+        return
+    campaign = config.as_dict()
+    n_specs = len(algorithms)
+    for index, value, spec in sweep_cells(algorithms, param_values):
+        row = rows[index]
+        perf = row.perf or {}
+        payload = sanitize_config({
+            "campaign": campaign, "param_name": param_name,
+            "param_value": float(value), "algorithm": spec.name,
+            "method": spec.method, "kwargs": spec.kwargs})
+        record_event(
+            "sweep.cell",
+            label=spec.name,
+            config_hash=config_hash(payload),
+            engine=perf.get("engine"),
+            jobs=jobs,
+            wall_s=row.mean_time_s * row.n_instances,
+            metrics={"counters": perf_counter_metrics(perf)},
+            extra={"cell": index, "param_name": param_name,
+                   "param_value": float(value),
+                   "mean_volume_gb": row.mean_volume_gb,
+                   "n_instances": row.n_instances})
+    for s_idx in sorted(column_specs):
+        spec = algorithms[s_idx]
+        col_rows = [rows[v_idx * n_specs + s_idx]
+                    for v_idx in range(len(param_values))]
+        payload = sanitize_config({
+            "campaign": campaign, "param_name": param_name,
+            "algorithm": spec.name, "method": spec.method,
+            "kwargs": spec.kwargs, "column": True})
+        record_event(
+            "sweep.column",
+            label=spec.name,
+            config_hash=config_hash(payload),
+            engine=(col_rows[0].perf or {}).get("engine"),
+            jobs=jobs,
+            wall_s=sum(r.mean_time_s * r.n_instances for r in col_rows),
+            extra={"column": s_idx, "width": len(param_values)})
 
 
 def run_sweep(config: ExperimentConfig,
@@ -309,6 +388,9 @@ def run_sweep(config: ExperimentConfig,
             if progress is not None:
                 progress(format_progress(index, len(cells), param_name,
                                          value, row))
+        _emit_sweep_records(
+            config, algorithms, param_name, param_values, rows, jobs=1,
+            column_specs=sorted({i % n_specs for i in column_rows}))
     meta: Dict[str, Any] = {"jobs": 1, "batch_columns": len(column_rows)}
     if artifact_cache is not None:
         meta["cache"] = artifact_cache.stats()
@@ -364,6 +446,7 @@ def _instance_sample(net: SensorNetwork,
                          method=spec.method, **call_kwargs)
     if validate:
         cross_validate(tour, radio)
+    _fold_perf_ambient(tour.meta.get("perf"))
     return (tour.collected_volume / MB_PER_GB, t.elapsed,
             tour.meta.get("perf"))
 
@@ -496,6 +579,7 @@ def _plan_column_instance(net: SensorNetwork,
     for tour in tours:
         if validate:
             cross_validate(tour, radio)
+        _fold_perf_ambient(tour.meta.get("perf"))
         samples.append((tour.collected_volume / MB_PER_GB, share,
                         tour.meta.get("perf")))
     return samples
@@ -517,6 +601,7 @@ def _population_std(values: Sequence[float]) -> float:
 
 __all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
            "PERF_SECONDS_PREFIX", "sweep_cells", "format_progress",
-           "batchable_column", "_flatten_perf", "_run_cell",
-           "_instance_sample", "_aggregate_samples",
-           "_plan_column_instance", "_population_std"]
+           "batchable_column", "_flatten_perf", "_fold_perf_ambient",
+           "_emit_sweep_records", "_run_cell", "_instance_sample",
+           "_aggregate_samples", "_plan_column_instance",
+           "_population_std"]

@@ -1,15 +1,20 @@
-"""repro.obs — structured tracing, metrics, and profiling export.
+"""repro.obs — structured tracing, metrics, profiling, and the run ledger.
 
 The observability layer behind the paper's running-time evaluation
 (Figs. 3(b)/4(b)/5(b)): nestable wall-clock spans with near-zero disabled
 overhead (:mod:`repro.obs.tracer`), a counters/gauges/histograms registry
 that backs the planner kernel's ``meta["perf"]`` contract
 (:mod:`repro.obs.metrics`), JSONL + Chrome ``trace_event`` export
-(:mod:`repro.obs.export`), and the per-span-name summary table behind
-``python -m repro.obs report`` (:mod:`repro.obs.report`).
+(:mod:`repro.obs.export`), the per-span-name summary table behind
+``python -m repro.obs report`` (:mod:`repro.obs.report`), and the durable
+run ledger + regression observatory behind ``repro-bench``
+(:mod:`repro.obs.ledger`, :mod:`repro.obs.record`,
+:mod:`repro.obs.regress`, :mod:`repro.obs.bench`).
 
 Tracing is off by default; enable it with ``plan_tour(..., trace=...)``,
-:func:`set_tracer`, or ``REPRO_TRACE=1``.  See ``docs/observability.md``.
+:func:`set_tracer`, or ``REPRO_TRACE=1``.  The ledger is likewise off by
+default; enable it with :class:`ledger_active` or ``REPRO_LEDGER=path``.
+See ``docs/observability.md``.
 """
 
 from repro.obs.tracer import (
@@ -24,7 +29,17 @@ from repro.obs.tracer import (
     activated,
     install_from_env,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+    quantile_sorted,
+    get_metrics,
+    set_metrics,
+    metrics_scope,
+)
 from repro.obs.export import (
     write_jsonl,
     read_jsonl,
@@ -36,13 +51,33 @@ from repro.obs.shards import (
     append_shard,
     list_shards,
     merge_trace_shards,
+    merge_ledger_shards,
 )
 from repro.obs.report import SpanStats, summarize, render_table
+from repro.obs.record import (
+    RunRecord,
+    canonical_json,
+    config_hash,
+    sanitize_config,
+    environment_fingerprint,
+)
+from repro.obs.ledger import (
+    Ledger,
+    get_ledger,
+    set_ledger,
+    ledger_active,
+    record_event,
+)
+from repro.obs.ledger import install_from_env as install_ledger_from_env
+from repro.obs.memprof import PeakMemory
+from repro.obs.regress import Thresholds, CompareReport, aggregate, compare
 
-#: Honour REPRO_TRACE / REPRO_TRACE_FILE the moment the package loads, so
-#: any entry point (CLI, pytest, a one-off script) can be traced without
+#: Honour REPRO_TRACE / REPRO_TRACE_FILE and REPRO_LEDGER /
+#: REPRO_LEDGER_MEM the moment the package loads, so any entry point
+#: (CLI, pytest, a one-off script) can be traced and ledgered without
 #: code changes.
 install_from_env()
+install_ledger_from_env()
 
 __all__ = [
     # tracer
@@ -50,10 +85,20 @@ __all__ = [
     "get_tracer", "set_tracer", "span", "activated", "install_from_env",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "nearest_rank", "quantile_sorted",
+    "get_metrics", "set_metrics", "metrics_scope",
     # export
     "write_jsonl", "read_jsonl", "to_chrome_trace", "write_chrome_trace",
     # shards
     "shard_path", "append_shard", "list_shards", "merge_trace_shards",
+    "merge_ledger_shards",
     # report
     "SpanStats", "summarize", "render_table",
+    # ledger
+    "RunRecord", "canonical_json", "config_hash", "sanitize_config",
+    "environment_fingerprint", "Ledger", "get_ledger", "set_ledger",
+    "ledger_active", "record_event", "install_ledger_from_env",
+    "PeakMemory",
+    # regression observatory
+    "Thresholds", "CompareReport", "aggregate", "compare",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro.obs report <trace.jsonl>``.
+"""Command-line interface: ``python -m repro.obs <command>`` / ``repro-bench``.
 
 Subcommands
 -----------
@@ -11,8 +11,17 @@ Subcommands
     Run one traced ``plan_tour`` (plus an independent simulator flight)
     on a small seeded instance and write the trace — the one-command way
     to produce an inspectable profile, used by the CI trace-artifact job.
+``bench``
+    Run a registered benchmark suite (:mod:`repro.obs.bench`), writing
+    one ledger record per case run to ``--out``.
+``compare``
+    Diff two ledger JSONL files case-by-case (:mod:`repro.obs.regress`);
+    ``--gate`` exits non-zero on any regression, which is how CI gates.
 
-Exit codes: 0 — success; 2 — usage error (missing/unreadable trace).
+The ``repro-bench`` console script (:func:`bench_main`) exposes the last
+two as ``repro-bench run`` / ``repro-bench compare``.
+
+Exit codes: 0 — success; 1 — gate failure; 2 — usage error.
 """
 
 from __future__ import annotations
@@ -59,7 +68,45 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="hovering-grid edge length in metres")
     demo.add_argument("--seed", type=int, default=7,
                       help="instance seed (default: 7)")
+
+    _add_bench_parser(sub, "bench")
+    _add_compare_parser(sub, "compare")
     return parser
+
+
+def _add_bench_parser(sub, name: str) -> argparse.ArgumentParser:
+    bench = sub.add_parser(
+        name, help="run a registered benchmark suite into a run ledger")
+    bench.add_argument("--suite", default="smoke",
+                       help="registered suite name (default: smoke)")
+    bench.add_argument("--out", default="bench-ledger.jsonl",
+                       help="ledger JSONL destination "
+                            "(default: bench-ledger.jsonl)")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="timed runs per case (default: 1)")
+    bench.add_argument("--mem", action="store_true",
+                       help="also record tracemalloc peak memory per run")
+    return bench
+
+
+def _add_compare_parser(sub, name: str) -> argparse.ArgumentParser:
+    comp = sub.add_parser(
+        name, help="diff two run ledgers with regression thresholds")
+    comp.add_argument("old", help="baseline ledger JSONL")
+    comp.add_argument("new", help="candidate ledger JSONL")
+    comp.add_argument("--gate", action="store_true",
+                      help="exit 1 when any case regresses (CI mode)")
+    comp.add_argument("--time-ratio", type=float, default=None,
+                      help="max allowed NEW/OLD wall p50 ratio")
+    comp.add_argument("--mem-ratio", type=float, default=None,
+                      help="max allowed NEW/OLD peak-memory ratio")
+    comp.add_argument("--counter-ratio", type=float, default=None,
+                      help="max allowed NEW/OLD work-counter ratio")
+    comp.add_argument("--min-time-s", type=float, default=None,
+                      help="ignore time deltas on cases faster than this")
+    comp.add_argument("--format", choices=("table", "json"),
+                      default="table", help="report format")
+    return comp
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -117,6 +164,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import run_suite
+    from repro.obs.ledger import Ledger
+    out = Path(args.out)
+    if out.exists():
+        out.unlink()                       # ledgers append; start fresh
+    try:
+        ledger = run_suite(
+            args.suite, repeats=args.repeats,
+            ledger=Ledger(out, track_memory=args.mem),
+            progress=lambda line: print(line, file=sys.stderr))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {len(ledger)} run record(s) to {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import Ledger
+    from repro.obs.regress import Thresholds, compare
+    for path in (args.old, args.new):
+        if not Path(path).exists():
+            print(f"error: ledger file {path!r} not found", file=sys.stderr)
+            return 2
+    overrides = {name: value for name, value in (
+        ("time_ratio", args.time_ratio), ("mem_ratio", args.mem_ratio),
+        ("counter_ratio", args.counter_ratio),
+        ("min_time_s", args.min_time_s)) if value is not None}
+    report = compare(Ledger.read(args.old), Ledger.read(args.new),
+                     Thresholds(**overrides))
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.gate and not report.passed:
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -125,8 +212,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     parser.print_help()
     return 2
 
 
-__all__ = ["main"]
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-bench`` entry point: ``run`` and ``compare`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark observatory: run registered suites into a "
+                    "run ledger and gate on ledger diffs.")
+    sub = parser.add_subparsers(dest="command")
+    _add_bench_parser(sub, "run")
+    _add_compare_parser(sub, "compare")
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_bench(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.print_help()
+    return 2
+
+
+__all__ = ["main", "bench_main"]

@@ -1,0 +1,73 @@
+"""Peak-memory profiling via ``tracemalloc``, nestable and opt-in.
+
+The ledger's ``mem_peak_bytes`` field answers "how much memory did this
+planner call / sweep cell allocate at its worst moment" — the capacity
+question a planning service has to answer before admitting a campaign.
+``tracemalloc`` is the only stdlib way to measure that portably, but it
+slows allocation-heavy code measurably, so everything here is **opt-in**
+(``Ledger(track_memory=True)``, ``Tracer(track_memory=True)``, or
+``REPRO_LEDGER_MEM=1``) and a disabled :class:`PeakMemory` region costs
+one attribute check.
+
+Regions nest: entering a region while ``tracemalloc`` is already tracing
+resets the peak counter instead of restarting the tracer (so an outer
+region keeps owning start/stop), and the measured peak is the traced
+high-water mark *within* the region.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Optional
+
+
+def begin_peak_region() -> bool:
+    """Start (or reset) peak tracking; returns True when tracing was
+    started here — the caller that started it must stop it."""
+    if tracemalloc.is_tracing():
+        tracemalloc.reset_peak()
+        return False
+    tracemalloc.start()
+    return True
+
+
+def end_peak_region(started_here: bool) -> int:
+    """Read the region's peak traced bytes and release the tracer when
+    this region started it."""
+    _current, peak = tracemalloc.get_traced_memory()
+    if started_here:
+        tracemalloc.stop()
+    return int(peak)
+
+
+class PeakMemory:
+    """Measure the peak traced allocation of a ``with`` block::
+
+        with PeakMemory(enabled=ledger.track_memory) as mem:
+            plan_tour(...)
+        record_event("planner.call", mem_peak_bytes=mem.peak_bytes)
+
+    ``enabled=False`` (the common case — memory profiling off) makes the
+    whole block a no-op and leaves :attr:`peak_bytes` ``None``, so
+    emission sites can pass the attribute straight into a record.
+    """
+
+    __slots__ = ("enabled", "peak_bytes", "_started_here")
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.peak_bytes: Optional[int] = None
+        self._started_here = False
+
+    def __enter__(self) -> "PeakMemory":
+        if self.enabled:
+            self._started_here = begin_peak_region()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.enabled:
+            self.peak_bytes = end_peak_region(self._started_here)
+        return None
+
+
+__all__ = ["PeakMemory", "begin_peak_region", "end_peak_region"]

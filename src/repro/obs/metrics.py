@@ -24,17 +24,52 @@ Three instrument kinds, all get-or-create by name:
 
 Timers are plain counters in a separate namespace so a timer and a work
 counter may share a name without colliding.
+
+Registries also know how to **merge** (:meth:`MetricsRegistry.merge` /
+:meth:`MetricsRegistry.merge_snapshot`): counters, timers, and histogram
+buckets add, gauges add as partitions of one quantity — all
+order-insensitive, which is what lets the parallel sweep executor fold
+per-worker snapshots back into the parent registry deterministically.
+An optional **ambient registry** (:func:`get_metrics` /
+:func:`set_metrics` / :class:`metrics_scope`) mirrors the tracer's
+active-instance pattern: ``None`` by default, installed for the duration
+of a sweep or benchmark run so instrumented layers can accumulate into
+one place without threading a registry through every signature.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram upper bounds (seconds-flavoured, log-spaced).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+def nearest_rank(n: int, q: float) -> int:
+    """The 1-based nearest-rank index of quantile *q* in *n* samples.
+
+    The single quantile definition shared by :meth:`Histogram.quantile`,
+    the trace report's percentile column, and the regression
+    observatory's p50/p95 aggregation (``rank = max(1, ceil(q * n))``;
+    0 when there are no samples).  Raises for ``q`` outside ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if n <= 0:
+        return 0
+    return max(1, math.ceil(q * n))
+
+
+def quantile_sorted(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending sequence (0.0 when empty)."""
+    rank = nearest_rank(len(sorted_values), q)
+    if rank == 0:
+        return 0.0
+    return sorted_values[rank - 1]
 
 
 class Counter:
@@ -104,12 +139,12 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile estimate (upper bound of the bucket
         holding the q-th observation; linear within the overflow bucket is
-        impossible, so the last bound is returned there)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"q must be in [0, 1], got {q}")
-        if self.count == 0:
+        impossible, so the last bound is returned there).  Uses the same
+        nearest-rank definition (:func:`nearest_rank`) as the trace
+        report and the regression observatory."""
+        rank = nearest_rank(self.count, q)
+        if rank == 0:
             return 0.0
-        rank = max(1, int(q * self.count + 0.5))
         seen = 0
         for i, c in enumerate(self.counts):
             seen += c
@@ -213,6 +248,103 @@ class MetricsRegistry:
                            for n, h in self._histograms.items()},
         }
 
+    # -- Merging ------------------------------------------------------- #
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other*'s instruments into this registry (returns self).
+
+        Counters and timers add; gauges add too — a merged gauge reads as
+        the sum over the per-registry levels, the right semantics for the
+        per-worker partitions of one quantity (cache sizes, queue depths)
+        this is used for; histograms add bucket-wise and must agree on
+        bounds.  Merging is commutative and associative, so folding N
+        worker snapshots produces the same registry in any order.
+        """
+        return self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot`-shaped dict into this registry.
+
+        This is the transport-side twin of :meth:`merge`: the parallel
+        sweep executor ships worker registries across the process
+        boundary as JSON snapshots and the parent folds them back here.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snap.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(gauge.value + float(value))
+        for name, value in snap.get("timers_s", {}).items():
+            self.timer(name).value += float(value)
+        for name, hist in snap.get("histograms", {}).items():
+            bounds = tuple(float(b) for b in hist["bounds"])
+            mine = self.histogram(name, bounds)
+            if mine.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} bounds mismatch on merge: "
+                    f"{mine.bounds} vs {bounds}")
+            for i, c in enumerate(hist["counts"]):
+                mine.counts[i] += int(c)
+            mine.total += float(hist["sum"])
+            mine.count += int(hist["count"])
+        return self
+
+
+#: The ambient registry (``None`` = no ambient accumulation).
+_active_metrics: Optional[MetricsRegistry] = None
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    """The ambient registry installed by :func:`set_metrics`, or ``None``.
+
+    Instrumented layers that *accumulate across calls* (the sweep
+    runner's per-tour perf fold, the benchmark harness) write here when a
+    scope is active; ``None`` — the default — means those sites do
+    nothing, so ordinary planner runs pay no bookkeeping.
+    """
+    return _active_metrics
+
+
+def set_metrics(registry: Optional[MetricsRegistry]
+                ) -> Optional[MetricsRegistry]:
+    """Install *registry* as ambient (``None`` disables); returns previous."""
+    global _active_metrics
+    previous = _active_metrics
+    _active_metrics = registry
+    return previous
+
+
+class metrics_scope:
+    """Temporarily install an ambient registry::
+
+        with metrics_scope(MetricsRegistry()) as reg:
+            run_sweep(...)            # kernel.* counters accumulate in reg
+
+    ``metrics_scope(None)`` keeps the current ambient registry, so entry
+    points can thread an optional parameter straight through.
+    """
+
+    __slots__ = ("registry", "_previous", "_installed")
+
+    def __init__(self, registry: Optional[MetricsRegistry]) -> None:
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+        self._installed = False
+
+    def __enter__(self) -> Optional[MetricsRegistry]:
+        if self.registry is None:
+            return _active_metrics
+        self._previous = set_metrics(self.registry)
+        self._installed = True
+        return self.registry
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._installed:
+            set_metrics(self._previous)
+            self._installed = False
+        return None
+
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "nearest_rank", "quantile_sorted",
+           "get_metrics", "set_metrics", "metrics_scope"]

@@ -11,9 +11,10 @@ dominates *self* points the optimisation effort at the kernel.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
+
+from repro.obs.metrics import quantile_sorted
 
 
 @dataclass(frozen=True)
@@ -35,11 +36,13 @@ class SpanStats:
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, int(math.ceil(q * len(sorted_values))))
-    return sorted_values[rank - 1]
+    """Nearest-rank percentile of an ascending sequence.
+
+    Thin alias over the one shared quantile implementation
+    (:func:`repro.obs.metrics.quantile_sorted`) so the report, the
+    histogram buckets, and the regression observatory cannot drift apart.
+    """
+    return quantile_sorted(sorted_values, q)
 
 
 def summarize(records: Sequence[Dict[str, Any]]) -> List[SpanStats]:

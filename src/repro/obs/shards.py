@@ -19,25 +19,37 @@ sweep completes.  The merge:
 Timestamps stay worker-relative (each worker has its own tracer epoch);
 spans keep the ``worker`` attribute the executor stamps on them so a
 flame-chart viewer can still group lanes per process.
+
+The same shard-file discipline carries the run **ledger** across the
+pool: workers append their :class:`~repro.obs.record.RunRecord` dicts to
+``ledger-shard-<worker id>.jsonl`` files (the ``kind`` parameter selects
+the filename family) and :func:`merge_ledger_shards` merges them in
+canonical cell order — no id rebasing needed, records are self-contained.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.obs.export import read_jsonl, write_jsonl
 
-#: Shard filename pattern inside a shard directory.
+#: Default shard filename pattern inside a shard directory (trace spans).
 SHARD_PREFIX = "trace-shard-"
 SHARD_SUFFIX = ".jsonl"
 
 PathLike = Union[str, Path]
 
 
-def shard_path(directory: PathLike, worker_id: Union[int, str]) -> Path:
-    """The shard file for *worker_id* inside *directory*."""
-    return Path(directory) / f"{SHARD_PREFIX}{worker_id}{SHARD_SUFFIX}"
+def _prefix(kind: str) -> str:
+    """The filename prefix of one shard family (``trace``, ``ledger``)."""
+    return f"{kind}-shard-"
+
+
+def shard_path(directory: PathLike, worker_id: Union[int, str],
+               kind: str = "trace") -> Path:
+    """The *kind* shard file for *worker_id* inside *directory*."""
+    return Path(directory) / f"{_prefix(kind)}{worker_id}{SHARD_SUFFIX}"
 
 
 def append_shard(records: Iterable[Dict[str, Any]], path: PathLike) -> int:
@@ -53,9 +65,9 @@ def append_shard(records: Iterable[Dict[str, Any]], path: PathLike) -> int:
     return n
 
 
-def list_shards(directory: PathLike) -> List[Path]:
-    """All shard files in *directory*, sorted by filename."""
-    return sorted(Path(directory).glob(f"{SHARD_PREFIX}*{SHARD_SUFFIX}"))
+def list_shards(directory: PathLike, kind: str = "trace") -> List[Path]:
+    """All *kind* shard files in *directory*, sorted by filename."""
+    return sorted(Path(directory).glob(f"{_prefix(kind)}*{SHARD_SUFFIX}"))
 
 
 def _shard_sort_key(records: List[Dict[str, Any]], path: Path) -> tuple:
@@ -107,5 +119,51 @@ def merge_trace_shards(
     return merged
 
 
+def _ledger_sort_key(record: Dict[str, Any]) -> Tuple:
+    """Canonical ledger-record order, independent of worker pids.
+
+    Sorts by cell index, then instance index (both from the ``extra``
+    payload when the emitter stamped them; -1 otherwise), then the
+    identity fields (label, event, config hash).  Records whose full key
+    ties — e.g. the per-instance ``planner.call`` records of one cell —
+    are interchangeable by construction: they differ only in their
+    nondeterministic fields, so the stable sort leaves the merged
+    deterministic view canonical either way.
+    """
+    extra = record.get("extra") or {}
+    cell = extra.get("cell")
+    instance = extra.get("instance")
+    return (cell if isinstance(cell, int) else -1,
+            instance if isinstance(instance, int) else -1,
+            str(record.get("label", "")), str(record.get("event", "")),
+            str(record.get("config_hash", "")))
+
+
+def merge_ledger_shards(
+        shards: Union[PathLike, Sequence[PathLike]]) -> List[Dict[str, Any]]:
+    """Merge worker ledger shards into one canonically-ordered record list.
+
+    Parameters
+    ----------
+    shards:
+        Either a shard directory (all ``ledger-shard-*.jsonl`` files in
+        it are merged) or an explicit sequence of shard paths.
+
+    Unlike trace spans, ledger records carry no ids to rebase — the merge
+    is a stable sort by ``(cell, instance, label, event)``, so the merged
+    ledger is independent of worker pids and completion order (the
+    determinism contract the jobs=1 vs jobs=N tests compare under).
+    """
+    if isinstance(shards, (str, Path)) and Path(shards).is_dir():
+        paths = list_shards(shards, kind="ledger")
+    else:
+        paths = [Path(p) for p in shards]  # type: ignore[union-attr]
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        records.extend(read_jsonl(path))
+    records.sort(key=_ledger_sort_key)
+    return records
+
+
 __all__ = ["SHARD_PREFIX", "SHARD_SUFFIX", "shard_path", "append_shard",
-           "list_shards", "merge_trace_shards"]
+           "list_shards", "merge_trace_shards", "merge_ledger_shards"]

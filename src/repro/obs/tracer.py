@@ -136,6 +136,13 @@ class Tracer:
         Maximum finished spans retained; older records are dropped first
         and counted in :attr:`dropped` (so a truncated export is visibly
         truncated, never silently short).
+    track_memory:
+        When true, every **root** span (depth 0) additionally measures
+        its peak traced allocation via ``tracemalloc``
+        (:mod:`repro.obs.memprof`) and stamps it as the
+        ``mem_peak_bytes`` attribute.  Off by default — tracemalloc
+        slows allocation-heavy code, and nested spans would fight over
+        one global peak counter, so only run roots are measured.
 
     Notes
     -----
@@ -146,18 +153,22 @@ class Tracer:
     before their parent, exactly like Chrome ``trace_event`` producers.
     """
 
-    __slots__ = ("epoch_s", "dropped", "_records", "_stack", "_next_id")
+    __slots__ = ("epoch_s", "dropped", "track_memory", "_records", "_stack",
+                 "_next_id", "_mem_started")
 
     enabled = True
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 track_memory: bool = False) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.epoch_s = time.perf_counter()
         self.dropped = 0
+        self.track_memory = track_memory
         self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._stack: List[Span] = []
         self._next_id = 0
+        self._mem_started = False
 
     def span(self, name: str, /, **attrs: Any) -> Span:
         """A new live span; ``with tracer.span("mod.op", key=val): ...``.
@@ -175,8 +186,15 @@ class Tracer:
         span.parent_id = self._stack[-1].span_id if self._stack else None
         span.depth = len(self._stack)
         self._stack.append(span)
+        if self.track_memory and span.depth == 0:
+            from repro.obs.memprof import begin_peak_region
+            self._mem_started = begin_peak_region()
 
     def _pop(self, span: Span, duration_s: float) -> None:
+        if self.track_memory and span.depth == 0:
+            from repro.obs.memprof import end_peak_region
+            span.attrs["mem_peak_bytes"] = end_peak_region(self._mem_started)
+            self._mem_started = False
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         elif span in self._stack:          # tolerate out-of-order exits

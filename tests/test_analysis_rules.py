@@ -628,6 +628,83 @@ class TestObsSpanNaming:
         project = make_project(tmp_path, {"src/repro/core/k.py": allowed})
         assert rule_findings(project, ObsSpanNamingRule()) == []
 
+    # -- Ledger events and ambient metric names (PR 8 extension) ------- #
+
+    def test_fires_on_undotted_ledger_event(self, tmp_path):
+        bad = """
+            from repro.obs.ledger import record_event
+
+            def f():
+                record_event("PlannerCall", label="x")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        found = rule_findings(project, ObsSpanNamingRule())
+        assert len(found) == 1
+        assert "ledger event" in found[0].message
+        assert "'PlannerCall'" in found[0].message
+
+    def test_quiet_on_dotted_ledger_event(self, tmp_path):
+        good = """
+            from repro.obs.ledger import record_event
+
+            def f():
+                record_event("planner.call", label="x")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": good})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_fires_on_runrecord_event_kwarg(self, tmp_path):
+        bad = """
+            from repro.obs.record import RunRecord
+
+            def f():
+                return RunRecord(event="sweepCell", label="x")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        found = rule_findings(project, ObsSpanNamingRule())
+        assert len(found) == 1
+        assert "'sweepCell'" in found[0].message
+
+    def test_fires_on_ambient_metric_name(self, tmp_path):
+        bad = """
+            from repro.obs.metrics import get_metrics
+
+            def f():
+                reg = get_metrics()
+                get_metrics().counter("Insertions").inc()
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        found = rule_findings(project, ObsSpanNamingRule())
+        assert len(found) == 1
+        assert "ambient counter metric" in found[0].message
+
+    def test_kernel_local_registry_names_exempt(self, tmp_path):
+        # Short names on a *local* registry are namespaced later by the
+        # perf fold; only the ambient get_metrics() receiver is checked.
+        local = """
+            from repro.obs.metrics import MetricsRegistry
+
+            class Kernel:
+                def __init__(self):
+                    self.metrics = MetricsRegistry()
+
+                def work(self):
+                    self.metrics.counter("drains").inc()
+                    self.metrics.timer("rescore")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": local})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
+    def test_dynamic_ledger_event_names_skipped(self, tmp_path):
+        dynamic = """
+            from repro.obs.ledger import record_event
+
+            def f(name):
+                record_event(name, label="x")
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": dynamic})
+        assert rule_findings(project, ObsSpanNamingRule()) == []
+
 
 class TestEveryRuleHasFixtureCoverage:
     def test_all_default_rules_tested(self):

@@ -493,3 +493,200 @@ class TestAlgorithm1PrebuiltInputs:
         with pytest.raises(InvalidParameterError):
             plan_algorithm1(net, energy, radio, delta=25.0,
                             sites=sites, graph=graph)
+
+
+# --------------------------------------------------------------------- #
+# Run-ledger integration (PR 8): shard merging, sequential/parallel
+# emission, and the jobs-independence of ambient worker metrics.
+# --------------------------------------------------------------------- #
+
+from repro.obs.ledger import Ledger, get_ledger, ledger_active, set_ledger  # noqa: E402
+from repro.obs.metrics import MetricsRegistry, get_metrics, metrics_scope  # noqa: E402
+from repro.obs.record import RunRecord  # noqa: E402
+from repro.obs.shards import merge_ledger_shards  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def ambient_obs_off():
+    """Ledger and ambient metrics start and end disabled in every test."""
+    prev_ledger = set_ledger(None)
+    prev_metrics = get_metrics()
+    yield
+    set_ledger(prev_ledger)
+    from repro.obs.metrics import set_metrics
+    set_metrics(prev_metrics)
+
+
+def ledger_events(ledger):
+    counts = {}
+    for rec in ledger.records():
+        counts[rec.event] = counts.get(rec.event, 0) + 1
+    return counts
+
+
+class TestLedgerShardsUnit:
+    @staticmethod
+    def _record(cell, instance, label="Alg 2"):
+        return RunRecord(event="planner.call", label=label,
+                         config_hash=f"h{cell}",
+                         extra={"cell": cell, "instance": instance})
+
+    def test_ledger_shard_path_naming(self, tmp_path):
+        path = shard_path(tmp_path, 4242, kind="ledger")
+        assert path.name == "ledger-shard-4242.jsonl"
+
+    def test_list_shards_filters_by_kind(self, tmp_path):
+        Ledger(shard_path(tmp_path, 1, kind="ledger")).record(
+            self._record(0, 0))
+        append_shard([{"id": 0, "parent": None, "name": "runner.cell",
+                       "t_start": 0.0, "t_end": 1.0, "attrs": {}}],
+                     shard_path(tmp_path, 1))
+        assert [p.name for p in list_shards(tmp_path)] == \
+            ["trace-shard-1.jsonl"]
+        assert [p.name for p in list_shards(tmp_path, kind="ledger")] == \
+            ["ledger-shard-1.jsonl"]
+
+    def test_merge_orders_by_cell_then_instance(self, tmp_path):
+        # Shard filenames sort opposite to cell order: the merge must
+        # still produce canonical (cell, instance) order.
+        high = Ledger(shard_path(tmp_path, 111, kind="ledger"))
+        high.record(self._record(3, 1))
+        high.record(self._record(3, 0))
+        low = Ledger(shard_path(tmp_path, 999, kind="ledger"))
+        low.record(self._record(0, 0))
+        merged = merge_ledger_shards(tmp_path)
+        assert [(r["extra"]["cell"], r["extra"]["instance"])
+                for r in merged] == [(0, 0), (3, 0), (3, 1)]
+
+    def test_merge_accepts_explicit_paths(self, tmp_path):
+        path = shard_path(tmp_path, 1, kind="ledger")
+        Ledger(path).record(self._record(0, 0))
+        assert len(merge_ledger_shards([path])) == 1
+
+    def test_merge_empty_dir(self, tmp_path):
+        assert merge_ledger_shards(tmp_path) == []
+
+    def test_merged_records_round_trip(self, tmp_path):
+        path = shard_path(tmp_path, 1, kind="ledger")
+        original = self._record(2, 1)
+        Ledger(path).record(original)
+        [payload] = merge_ledger_shards(tmp_path)
+        assert RunRecord.from_dict(payload) == original
+
+
+class TestSequentialLedger:
+    def test_rows_bitwise_identical_with_ledger_on(self, tiny_config,
+                                                   fig3_seq):
+        with ledger_active(Ledger()) as ledger:
+            result = run_fig3(tiny_config, n_restarts=1, jobs=1)
+        assert det_rows(result) == det_rows(fig3_seq)
+        events = ledger_events(ledger)
+        assert events["sweep.cell"] == len(result.rows)
+        assert events["planner.call"] == \
+            len(result.rows) * tiny_config.n_instances
+
+    def test_cell_records_identify_the_campaign(self, tiny_config):
+        with ledger_active(Ledger()) as ledger:
+            result = run_fig3(tiny_config, n_restarts=1, jobs=1)
+        cells = [r for r in ledger.records() if r.event == "sweep.cell"]
+        labels = {row.algorithm for row in result.rows}
+        for i, rec in enumerate(cells):
+            assert rec.label in labels
+            assert rec.jobs == 1
+            assert len(rec.config_hash) == 16
+            assert rec.extra["cell"] == i
+            assert rec.extra["param_name"] == "capacity"
+            assert rec.extra["param_value"] in tiny_config.capacity_sweep
+            assert rec.extra["n_instances"] == tiny_config.n_instances
+            assert rec.wall_s >= 0.0
+
+    def test_no_ledger_emits_nothing(self, tiny_config):
+        result = run_fig3(tiny_config, n_restarts=1, jobs=1)
+        assert get_ledger() is None
+        assert "ledger_records" not in result.meta
+
+    def test_batch_columns_emit_column_records(self, tiny_config):
+        with ledger_active(Ledger()) as ledger:
+            result = run_fig5(tiny_config, jobs=1, batch_columns=True)
+        events = ledger_events(ledger)
+        assert events["sweep.cell"] == len(result.rows)
+        assert events.get("sweep.column", 0) > 0
+        columns = [r for r in ledger.records()
+                   if r.event == "sweep.column"]
+        for rec in columns:
+            assert rec.extra["width"] == len(tiny_config.capacity_sweep)
+
+
+class TestParallelLedger:
+    def test_worker_records_merge_into_parent(self, tiny_config, fig3_seq):
+        with ledger_active(Ledger()) as ledger:
+            par = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        assert det_rows(par) == det_rows(fig3_seq)
+        events = ledger_events(ledger)
+        expected_calls = len(par.rows) * tiny_config.n_instances
+        assert events["planner.call"] == expected_calls
+        assert events["sweep.cell"] == len(par.rows)
+        assert par.meta["ledger_records"] == expected_calls
+
+    def test_parallel_ledger_matches_sequential_deterministically(
+            self, tiny_config):
+        def planner_views(jobs):
+            with ledger_active(Ledger()) as ledger:
+                run_fig3(tiny_config, n_restarts=1, jobs=jobs)
+            views = []
+            for rec in ledger.records():
+                if rec.event != "planner.call":
+                    continue
+                det = rec.deterministic_dict()
+                det.pop("jobs")
+                views.append(det)
+            return sorted(views, key=lambda d: sorted(d.items().__str__()))
+
+        seq = planner_views(1)
+        par = planner_views(2)
+        assert len(seq) == len(par) > 0
+        assert sorted(map(str, seq)) == sorted(map(str, par))
+
+    def test_parallel_without_ledger_unchanged(self, tiny_config):
+        result = run_fig3(tiny_config, n_restarts=1, jobs=2)
+        assert "ledger_records" not in result.meta
+        assert get_ledger() is None
+
+
+class TestJobsIndependentMetrics:
+    """Satellite (a): worker MetricsRegistry snapshots merge into the
+    parent, so ambient counter totals are identical for jobs=1 vs 2."""
+
+    def _counters(self, tiny_config, jobs):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            run_fig3(tiny_config, n_restarts=1, jobs=jobs)
+        return registry.counter_values()
+
+    def test_counters_equal_jobs1_vs_jobs2(self, tiny_config):
+        seq = self._counters(tiny_config, 1)
+        par = self._counters(tiny_config, 2)
+        assert seq == par
+        assert any(name.startswith("kernel.") for name in seq)
+        assert all(value > 0 for value in seq.values())
+
+    def test_fig5_kernel_counters_equal_and_timed(self, tiny_config):
+        # Fig. 5 runs the kernel planners, so the fold also carries the
+        # full insertion/rescore counters and their phase timers.
+        def run(jobs):
+            registry = MetricsRegistry()
+            with metrics_scope(registry):
+                run_fig5(tiny_config, jobs=jobs)
+            return registry
+        seq, par = run(1), run(2)
+        assert seq.counter_values() == par.counter_values()
+        assert seq.counter_values()["kernel.insertions"] > 0
+        # Timers are wall-clock (nondeterministic) — present, positive,
+        # but never part of the equality contract above.
+        timers = par.timer_seconds()
+        assert any(name.startswith("kernel.") for name in timers)
+        assert all(v >= 0.0 for v in timers.values())
+
+    def test_no_scope_accumulates_nothing(self, tiny_config):
+        run_fig3(tiny_config, n_restarts=1, jobs=1)
+        assert get_metrics() is None

@@ -123,6 +123,90 @@ class TestMetricsRegistry:
         assert snap["histograms"]["lat"]["count"] == 1
 
 
+class TestMerge:
+    """Registry merging: the transport that makes worker metrics
+    jobs-independent (counters add, order never matters)."""
+
+    @staticmethod
+    def _worker(ops, seconds):
+        m = MetricsRegistry()
+        m.counter("kernel.insertions").inc(ops)
+        m.timer("kernel.rescore").value += seconds
+        m.gauge("cache.artifacts").set(ops)
+        m.histogram("lat", bounds=(1.0, 10.0)).observe(ops)
+        return m
+
+    def test_counters_and_timers_add(self):
+        parent = self._worker(2, 0.5).merge(self._worker(3, 0.25))
+        assert parent.counter_values()["kernel.insertions"] == 5.0
+        assert parent.timer_seconds()["kernel.rescore"] == 0.75
+
+    def test_gauges_add_as_partitions(self):
+        parent = self._worker(2, 0.0).merge(self._worker(3, 0.0))
+        assert parent.snapshot()["gauges"]["cache.artifacts"] == 5.0
+
+    def test_histograms_add_bucketwise(self):
+        parent = self._worker(0.5, 0.0).merge(self._worker(50.0, 0.0))
+        hist = parent.snapshot()["histograms"]["lat"]
+        assert hist["counts"] == [1, 0, 1]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(50.5)
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("lat", bounds=(1.0, 10.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat", bounds=(1.0, 99.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            a.merge(b)
+
+    def test_merge_snapshot_equals_merge(self):
+        direct = self._worker(2, 0.5).merge(self._worker(3, 0.25))
+        import json
+        shipped = json.loads(json.dumps(self._worker(3, 0.25).snapshot()))
+        via_snapshot = self._worker(2, 0.5).merge_snapshot(shipped)
+        assert direct.snapshot() == via_snapshot.snapshot()
+
+    def test_merge_is_commutative(self):
+        ab = self._worker(2, 0.5).merge(self._worker(3, 0.25))
+        ba = self._worker(3, 0.25).merge(self._worker(2, 0.5))
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_into_empty_registry(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker(4, 0.1))
+        assert parent.counter_values()["kernel.insertions"] == 4.0
+
+    def test_merge_returns_self(self):
+        parent = MetricsRegistry()
+        assert parent.merge(MetricsRegistry()) is parent
+
+
+class TestAmbientRegistry:
+    """The active-instance pattern (mirrors the tracer's)."""
+
+    def test_off_by_default(self):
+        from repro.obs.metrics import get_metrics
+        assert get_metrics() is None
+
+    def test_scope_installs_and_restores(self):
+        from repro.obs.metrics import get_metrics, metrics_scope
+        reg = MetricsRegistry()
+        with metrics_scope(reg) as active:
+            assert active is reg
+            assert get_metrics() is reg
+        assert get_metrics() is None
+
+    def test_scope_none_keeps_current(self):
+        from repro.obs.metrics import get_metrics, metrics_scope
+        outer = MetricsRegistry()
+        with metrics_scope(outer):
+            with metrics_scope(None) as active:
+                assert active is outer
+                assert get_metrics() is outer
+            assert get_metrics() is outer
+
+
 class TestKernelBackCompat:
     """The kernel's meta["perf"] contract must survive the registry swap."""
 
