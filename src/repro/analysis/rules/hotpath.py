@@ -14,7 +14,10 @@ rule makes the contract machine-checked: inside code marked
 * their batched 3-D cousins, e.g. ``a[:, :, None] <op> b[:, None, :]`` —
   the ``(B, m, n)`` temporaries ``repro.core.batch`` must avoid (its
   column-stacked kernel carries a leading variant axis, so the old
-  two-axis pattern alone would miss a dense rescore).
+  two-axis pattern alone would miss a dense rescore),
+* gram-matrix matmuls ``x @ y.T`` / ``x.T @ y`` — the dense
+  ``(m, m)`` intersection-count products the site-reduction pre-pass
+  (``repro.core.reduce``) must build chunked and sparse instead.
 
 Scope markers nest: a ``# repro: hot-path`` comment at module top level
 marks the whole file; a function containing ``# repro: cold-path``
@@ -147,7 +150,16 @@ class HotPathPurityRule:
             if axes == {"col", "row"}:
                 return ("broadcasted dense temporary "
                         "(a[..., None] op b[..., None, :])")
+            if isinstance(node.op, ast.MatMult) \
+                    and (_is_transpose(node.left)
+                         or _is_transpose(node.right)):
+                return "dense gram-matrix matmul (x @ y.T)"
         return None
+
+
+def _is_transpose(node: ast.expr) -> bool:
+    """True for a ``<expr>.T`` operand (ndarray transpose attribute)."""
+    return isinstance(node, ast.Attribute) and node.attr == "T"
 
 
 __all__ = ["HotPathPurityRule"]

@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.reduce import (ReducedSites, attach_reduction_meta,
+                               reduce_sites, resolve_reduction)
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
@@ -56,6 +58,7 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
                     n_restarts: int = 8,
                     seed: SeedLike = None,
                     sites: Optional[HoveringSites] = None,
+                    site_reduction=None,
                     graph: Optional[AuxiliaryGraph] = None,
                     conflict_neighbors: Optional[List[np.ndarray]] = None
                     ) -> CollectionTour:
@@ -80,6 +83,17 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         :class:`repro.experiments.artifacts.ArtifactCache`; a supplied
         *graph* must have been weighted with this call's energy rates
         (the capacity may differ — it only enters as the budget).
+    site_reduction:
+        Candidate-site reduction pre-pass (``None``/``"off"``, ``"safe"``,
+        ``"aggressive"``, or a :class:`~repro.core.reduce.SiteReduction` /
+        its dict form), applied before the auxiliary graph is built.
+        NOTE: unlike Algorithms 2/3, even the ``safe`` level can change a
+        GRASP solution here — removing sites renumbers the solver's node
+        ids and shifts its seeded-RNG stream (the solution remains
+        feasible and the achievable optimum is unchanged; only the
+        ``solver="greedy"`` path is renumbering-invariant).  When a
+        pre-built *graph*/*conflict_neighbors* is supplied it must have
+        been built over the same reduced sites.
 
     Returns
     -------
@@ -103,11 +117,19 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
             raise InvalidParameterError(
                 "pre-built graph does not match the supplied sites")
 
+    reduction = resolve_reduction(site_reduction)
     with span("alg1.reduction"):
         if graph is not None and sites is None:
             sites = graph.sites
         if sites is None:
             sites = build_hovering_sites(network, radio, delta)
+        if reduction.enabled and not isinstance(sites, ReducedSites):
+            if graph is not None or conflict_neighbors is not None:
+                raise InvalidParameterError(
+                    "site_reduction with pre-built graph/conflict lists: "
+                    "build them over the reduced sites (the ArtifactCache "
+                    "does this) or drop the prebuilt artifacts")
+            sites = reduce_sites(sites, reduction, energy=energy)
         if graph is None:
             graph = build_auxiliary_graph(sites, energy)
 
@@ -132,18 +154,20 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         union = sites.cov_matrix[visited_sites].any(axis=0)
         collected[union] = network.volumes[union]
 
+    meta = {
+        "n_candidates": sites.n_sites,
+        "n_visited": int(len(visited_sites)),
+        "orienteering_method": solution.method,
+        "orienteering_award": solution.award,
+        "orienteering_cost": solution.cost,
+        "overlap_mode": overlap,
+        "delta": float(delta),
+    }
+    attach_reduction_meta(meta, sites)
     return CollectionTour(
         points=points, sojourns=sojourns, collected=collected,
         network=network, energy=energy, method="algorithm1",
-        meta={
-            "n_candidates": sites.n_sites,
-            "n_visited": int(len(visited_sites)),
-            "orienteering_method": solution.method,
-            "orienteering_award": solution.award,
-            "orienteering_cost": solution.cost,
-            "overlap_mode": overlap,
-            "delta": float(delta),
-        })
+        meta=meta)
 
 
 __all__ = ["plan_algorithm1"]

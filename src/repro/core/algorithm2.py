@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.core.hovering import HoveringSites, build_hovering_sites
 from repro.core.kernel import PlannerKernel, check_engine
+from repro.core.reduce import (ReducedSites, attach_reduction_meta,
+                               reduce_sites, resolve_reduction)
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import cross_distances, pairwise_distances
@@ -111,6 +113,7 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
                     polish: bool = True,
                     scoring: str = "ratio",
                     sites: Optional[HoveringSites] = None,
+                    site_reduction=None,
                     max_iterations: Optional[int] = None,
                     engine: str = "kernel") -> CollectionTour:
     """Plan a full-collection tour with the greedy max-ratio heuristic.
@@ -128,7 +131,14 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         Candidate-scoring policy (see :data:`SCORING_POLICIES`); the
         default ``"ratio"`` is the paper's Eq. 13.
     sites:
-        Pre-built hovering sites (else built from the inputs).
+        Pre-built hovering sites (else built from the inputs).  A
+        :class:`~repro.core.reduce.ReducedSites` is used as-is (the
+        pre-pass is not idempotent).
+    site_reduction:
+        Candidate-site reduction pre-pass config — ``None``/``"off"``,
+        ``"safe"`` (plan-preserving, bitwise-identical tours),
+        ``"aggressive"``, or a :class:`~repro.core.reduce.SiteReduction`
+        / its dict form.  Ignored when *sites* is already reduced.
     max_iterations:
         Safety bound on greedy iterations (default: number of candidates).
     engine:
@@ -152,10 +162,13 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
         from repro.core.batch import plan_algorithm2_batch
         return plan_algorithm2_batch(
             network, [energy], radio, delta, polish=polish,
-            scoring=scoring, sites=sites,
+            scoring=scoring, sites=sites, site_reduction=site_reduction,
             max_iterations=max_iterations)[0]
+    reduction = resolve_reduction(site_reduction)
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
+    if reduction.enabled and not isinstance(sites, ReducedSites):
+        sites = reduce_sites(sites, reduction, energy=energy)
 
     kern = PlannerKernel(sites, energy, radio, engine=engine)
     pts_all = kern.points_all
@@ -230,21 +243,23 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
 
     sojourns = np.array([sojourn_of[v] for v in kern.tour])
     collected = np.where(kern.covered, volumes, 0.0)
+    meta = {
+        "n_candidates": m,
+        "n_visited": len(kern.tour) - 1,
+        "iterations": iterations,
+        "tsp_mode": tsp_mode,
+        "scoring": scoring,
+        "polished": bool(polish),
+        "delta": float(sites.delta),
+        "engine": engine,
+        "perf": kern.perf(),
+    }
+    attach_reduction_meta(meta, sites)
     return CollectionTour(
         points=pts_all[np.array(kern.tour, dtype=int)],
         sojourns=sojourns, collected=collected,
         network=network, energy=energy, method="algorithm2",
-        meta={
-            "n_candidates": m,
-            "n_visited": len(kern.tour) - 1,
-            "iterations": iterations,
-            "tsp_mode": tsp_mode,
-            "scoring": scoring,
-            "polished": bool(polish),
-            "delta": float(sites.delta),
-            "engine": engine,
-            "perf": kern.perf(),
-        })
+        meta=meta)
 
 
 def _polish_and_refill(kern: PlannerKernel, sojourn_of: Dict[int, float],

@@ -44,6 +44,8 @@ import numpy as np
 from repro.core.algorithm2 import _DENOM_EPS
 from repro.core.hovering import HoveringSites, build_hovering_sites
 from repro.core.kernel import PlannerKernel, check_engine
+from repro.core.reduce import (ReducedSites, attach_reduction_meta,
+                               reduce_sites, resolve_reduction)
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
@@ -63,6 +65,7 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
                     radio: RadioModel, delta: float, K: int, *,
                     polish: bool = True,
                     sites: Optional[HoveringSites] = None,
+                    site_reduction=None,
                     max_iterations: Optional[int] = None,
                     engine: str = "kernel") -> CollectionTour:
     """Plan a partial-collection tour with the K-virtual-location heuristic.
@@ -77,7 +80,13 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
         2-opt the finished tour and resume greedy selection with the
         freed budget (never reduces collected volume).
     sites:
-        Pre-built hovering sites (else built from the inputs).
+        Pre-built hovering sites (else built from the inputs).  A
+        :class:`~repro.core.reduce.ReducedSites` is used as-is.
+    site_reduction:
+        Candidate-site reduction pre-pass config (``None``/``"off"``,
+        ``"safe"``, ``"aggressive"``, or a
+        :class:`~repro.core.reduce.SiteReduction` / its dict form);
+        ignored when *sites* is already reduced.
     max_iterations:
         Safety bound on greedy iterations (default ``2 * K * (m + 1)``,
         mirroring the paper's ``M' = K * M`` virtual-square count with
@@ -93,9 +102,13 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
         from repro.core.batch import plan_algorithm3_batch
         return plan_algorithm3_batch(
             network, [energy], radio, delta, K, polish=polish,
-            sites=sites, max_iterations=max_iterations)[0]
+            sites=sites, site_reduction=site_reduction,
+            max_iterations=max_iterations)[0]
+    reduction = resolve_reduction(site_reduction)
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
+    if reduction.enabled and not isinstance(sites, ReducedSites):
+        sites = reduce_sites(sites, reduction, energy=energy)
 
     kern = PlannerKernel(sites, energy, radio, engine=engine,
                          volume_tol=_VOLUME_TOL)
@@ -174,21 +187,23 @@ def plan_algorithm3(network: SensorNetwork, energy: EnergyModel,
 
     sojourns = np.array([sojourn_of[v] for v in kern.tour])
     collected = network.volumes - kern.rem
+    meta = {
+        "n_candidates": m,
+        "n_virtual_candidates": m * K,
+        "n_visited": len(kern.tour) - 1,
+        "iterations": state["iters"],
+        "K": K,
+        "polished": bool(polish),
+        "delta": float(sites.delta),
+        "engine": engine,
+        "perf": kern.perf(),
+    }
+    attach_reduction_meta(meta, sites)
     return CollectionTour(
         points=pts_all[np.array(kern.tour, dtype=int)],
         sojourns=sojourns, collected=collected,
         network=network, energy=energy, method="algorithm3",
-        meta={
-            "n_candidates": m,
-            "n_virtual_candidates": m * K,
-            "n_visited": len(kern.tour) - 1,
-            "iterations": state["iters"],
-            "K": K,
-            "polished": bool(polish),
-            "delta": float(sites.delta),
-            "engine": engine,
-            "perf": kern.perf(),
-        })
+        meta=meta)
 
 
 __all__ = ["plan_algorithm3"]

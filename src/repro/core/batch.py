@@ -67,6 +67,8 @@ import numpy as np
 
 from repro.core.algorithm2 import _DENOM_EPS, SCORING_POLICIES, _score
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.reduce import (ReducedSites, attach_reduction_meta,
+                               reduce_sites, resolve_reduction)
 from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.geometry.coverage import SparseCoverage
@@ -578,12 +580,30 @@ def _polish_tour(kern: BatchPlannerKernel, b: int) -> float:
                                     local_dist[np.ix_(order, order)]))
 
 
+def _reduce_column_sites(sites: HoveringSites, site_reduction,
+                         energies: Sequence[EnergyModel]) -> HoveringSites:
+    """Run the pre-pass once for a whole capacity column.
+
+    The reachability bound is the largest-capacity variant (``max`` keeps
+    the first maximum, so ties are deterministic): a site whose depot
+    out-and-back exceeds the largest battery is unreachable for every
+    variant, which is what keeps the safe level plan-preserving
+    column-wide.  Already-reduced sites pass through untouched.
+    """
+    reduction = resolve_reduction(site_reduction)
+    if not reduction.enabled or isinstance(sites, ReducedSites):
+        return sites
+    cap_energy = max(energies, key=lambda e: e.capacity)
+    return reduce_sites(sites, reduction, energy=cap_energy)
+
+
 def plan_algorithm2_batch(network: SensorNetwork,
                           energies: Sequence[EnergyModel],
                           radio: RadioModel, delta: float, *,
                           polish: bool = True,
                           scoring: str = "ratio",
                           sites: Optional[HoveringSites] = None,
+                          site_reduction=None,
                           max_iterations: Optional[int] = None
                           ) -> List[CollectionTour]:
     """Plan one Algorithm 2 capacity column: one tour per energy variant.
@@ -593,12 +613,19 @@ def plan_algorithm2_batch(network: SensorNetwork,
     sojourns, collected volumes, iteration counts.  Only
     ``tsp_mode="insertion"`` batches (the Christofides mode re-solves a
     TSP per candidate and has no stacked formulation).
+
+    ``site_reduction`` runs the pre-pass once for the whole column with
+    the *largest*-capacity variant as the reachability bound (see
+    :func:`repro.core.reduce.reduce_sites`): ``safe`` eliminations stay
+    plan-preserving for every variant, so the per-variant bitwise
+    equivalence to the scalar kernel holds with the pre-pass on.
     """
     if scoring not in SCORING_POLICIES:
         raise InvalidParameterError(
             f"scoring must be one of {SCORING_POLICIES}, got {scoring!r}")
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
+    sites = _reduce_column_sites(sites, site_reduction, energies)
     kern = BatchPlannerKernel(sites, energies, radio)
     B, m = kern.B, kern.m
     pts_all = kern.points_all
@@ -670,22 +697,24 @@ def plan_algorithm2_batch(network: SensorNetwork,
     tours: List[CollectionTour] = []
     for b in range(B):
         order = np.array(kern.tours[b], dtype=int)
+        meta = {
+            "n_candidates": m,
+            "n_visited": len(kern.tours[b]) - 1,
+            "iterations": int(iters[b]),
+            "tsp_mode": "insertion",
+            "scoring": scoring,
+            "polished": bool(polish),
+            "delta": float(sites.delta),
+            "engine": "batch",
+            "perf": kern.perf(b),
+        }
+        attach_reduction_meta(meta, sites)
         tours.append(CollectionTour(
             points=pts_all[order],
             sojourns=np.array([sojourn_of[b][v] for v in kern.tours[b]]),
             collected=np.where(kern.covered[b], volumes, 0.0),
             network=network, energy=kern.energies[b], method="algorithm2",
-            meta={
-                "n_candidates": m,
-                "n_visited": len(kern.tours[b]) - 1,
-                "iterations": int(iters[b]),
-                "tsp_mode": "insertion",
-                "scoring": scoring,
-                "polished": bool(polish),
-                "delta": float(sites.delta),
-                "engine": "batch",
-                "perf": kern.perf(b),
-            }))
+            meta=meta))
     return tours
 
 
@@ -694,16 +723,20 @@ def plan_algorithm3_batch(network: SensorNetwork,
                           radio: RadioModel, delta: float, K: int, *,
                           polish: bool = True,
                           sites: Optional[HoveringSites] = None,
+                          site_reduction=None,
                           max_iterations: Optional[int] = None
                           ) -> List[CollectionTour]:
     """Plan one Algorithm 3 capacity column: one tour per energy variant.
 
     Bitwise-identical per variant to
-    ``plan_algorithm3(..., energies[b], engine="kernel")``.
+    ``plan_algorithm3(..., energies[b], engine="kernel")``;
+    ``site_reduction`` follows the column-wide max-capacity convention of
+    :func:`plan_algorithm2_batch`.
     """
     K = check_integer(K, "K", minimum=1)
     if sites is None:
         sites = build_hovering_sites(network, radio, delta)
+    sites = _reduce_column_sites(sites, site_reduction, energies)
     kern = BatchPlannerKernel(sites, energies, radio,
                               volume_tol=_VOLUME_TOL)
     B, m = kern.B, kern.m
@@ -787,22 +820,24 @@ def plan_algorithm3_batch(network: SensorNetwork,
     tours: List[CollectionTour] = []
     for b in range(B):
         order = np.array(kern.tours[b], dtype=int)
+        meta = {
+            "n_candidates": m,
+            "n_virtual_candidates": m * K,
+            "n_visited": len(kern.tours[b]) - 1,
+            "iterations": int(iters[b]),
+            "K": K,
+            "polished": bool(polish),
+            "delta": float(sites.delta),
+            "engine": "batch",
+            "perf": kern.perf(b),
+        }
+        attach_reduction_meta(meta, sites)
         tours.append(CollectionTour(
             points=pts_all[order],
             sojourns=np.array([sojourn_of[b][v] for v in kern.tours[b]]),
             collected=network.volumes - kern.rem[b],
             network=network, energy=kern.energies[b], method="algorithm3",
-            meta={
-                "n_candidates": m,
-                "n_virtual_candidates": m * K,
-                "n_visited": len(kern.tours[b]) - 1,
-                "iterations": int(iters[b]),
-                "K": K,
-                "polished": bool(polish),
-                "delta": float(sites.delta),
-                "engine": "batch",
-                "perf": kern.perf(b),
-            }))
+            meta=meta))
     return tours
 
 

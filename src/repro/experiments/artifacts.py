@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.core.auxgraph import AuxiliaryGraph, build_auxiliary_graph
 from repro.core.hovering import HoveringSites, build_hovering_sites
+from repro.core.reduce import (ReducedSites, SiteReduction, reduce_sites,
+                               resolve_reduction)
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
 from repro.obs.metrics import MetricsRegistry
@@ -46,8 +48,16 @@ from repro.radio.link import RadioModel
 #: Planner methods whose kwargs the cache knows how to augment.
 CACHEABLE_METHODS = ("algorithm1", "algorithm2", "algorithm3")
 
-_SiteKey = Tuple[int, float, float, float]
-_GraphKey = Tuple[int, float, float, float, float, float]
+#: Per-cell planner options that select *different* cached geometry.
+#: Every kwarg that changes what ``sites()`` / ``graph()`` /
+#: ``conflict_neighbors()`` should return for the same (instance, δ)
+#: MUST be listed here: its token joins every cache key, so two cells
+#: differing only in such an option can never share artifacts (the
+#: regression test in tests/test_experiments_artifacts_keys.py pins it).
+ARTIFACT_OPTIONS = ("site_reduction",)
+
+_SiteKey = Tuple[int, float, float, float, str]
+_GraphKey = Tuple[int, float, float, float, str, float, float]
 
 
 class ArtifactCache:
@@ -83,13 +93,28 @@ class ArtifactCache:
         self.metrics.gauge("artifacts").set(len(self))
 
     def _site_key(self, network: SensorNetwork, radio: RadioModel,
-                  delta: float) -> _SiteKey:
+                  delta: float, options: str = "") -> _SiteKey:
         self._pins[id(network)] = network
         # _pins keeps the network alive, so id() is stable for the cache
         # lifetime and the key never leaves this process.
         # repro: allow[flow-determinism] -- process-local cache key
         return (id(network), float(delta), float(radio.bandwidth),
-                float(radio.coverage_radius))
+                float(radio.coverage_radius), options)
+
+    @staticmethod
+    def _reduction_token(reduction: SiteReduction,
+                         energy: EnergyModel) -> str:
+        """The cache-key fragment of one reduction config.
+
+        Canonical-JSON config plus, for capacity-dependent stages, the
+        exact reachability bound (capacity and travel rate): two cells
+        whose survivor sets could legally differ never share a key.
+        """
+        token = reduction.key()
+        if reduction.capacity_dependent:
+            token += (f"|cap={float(energy.capacity)!r}"
+                      f"|rate={float(energy.travel_cost_per_meter)!r}")
+        return token
 
     def sites(self, network: SensorNetwork, radio: RadioModel,
               delta: float) -> HoveringSites:
@@ -105,16 +130,51 @@ class ArtifactCache:
         self._stored()
         return built
 
+    def reduced_sites(self, network: SensorNetwork, radio: RadioModel,
+                      delta: float, reduction: SiteReduction,
+                      energy: EnergyModel) -> ReducedSites:
+        """Memoized site-reduction pre-pass over the cached base sites.
+
+        For a batch column pass the largest-capacity variant as *energy*
+        (the same convention as
+        :func:`repro.core.batch.plan_algorithm2_batch`).
+        """
+        token = self._reduction_token(reduction, energy)
+        key = self._site_key(network, radio, delta, token)
+        cached = self._sites.get(key)
+        if cached is not None:
+            self._hit()
+            assert isinstance(cached, ReducedSites)
+            return cached
+        self._miss()
+        # The id() lives only in the cache key; the HoveringSites value
+        # reaching reduce_sites (and its span attributes) is
+        # deterministic builder output.
+        # repro: allow[flow-determinism] -- id() taint is key-only
+        built = reduce_sites(self.sites(network, radio, delta), reduction,
+                             energy=energy)
+        self._sites[key] = built
+        self._stored()
+        return built
+
     def conflict_neighbors(self, network: SensorNetwork, radio: RadioModel,
-                           delta: float) -> List[np.ndarray]:
-        """Memoized Algorithm 1 conflict lists (depot entry included)."""
-        key = self._site_key(network, radio, delta)
+                           delta: float, *,
+                           sites: Optional[HoveringSites] = None,
+                           options: str = "") -> List[np.ndarray]:
+        """Memoized Algorithm 1 conflict lists (depot entry included).
+
+        *sites*/*options* select a non-default geometry (e.g. reduced
+        sites with their reduction token); the defaults serve the plain
+        per-(instance, δ) lists.
+        """
+        key = self._site_key(network, radio, delta, options)
         cached = self._conflicts.get(key)
         if cached is not None:
             self._hit()
             return cached
         self._miss()
-        sites = self.sites(network, radio, delta)
+        if sites is None:
+            sites = self.sites(network, radio, delta)
         lists: List[np.ndarray] = [np.empty(0, dtype=int)]
         for row in sites.overlap_matrix():
             lists.append(np.flatnonzero(row) + 1)
@@ -123,17 +183,20 @@ class ArtifactCache:
         return lists
 
     def graph(self, network: SensorNetwork, radio: RadioModel, delta: float,
-              energy: EnergyModel) -> AuxiliaryGraph:
+              energy: EnergyModel, *,
+              sites: Optional[HoveringSites] = None,
+              options: str = "") -> AuxiliaryGraph:
         """Memoized auxiliary graph, keyed on energy *rates* not capacity."""
-        key = self._site_key(network, radio, delta) + (
+        key = self._site_key(network, radio, delta, options) + (
             float(energy.hover_power), float(energy.travel_cost_per_meter))
         cached = self._graphs.get(key)
         if cached is not None:
             self._hit()
             return cached
         self._miss()
-        built = build_auxiliary_graph(self.sites(network, radio, delta),
-                                      energy)
+        if sites is None:
+            sites = self.sites(network, radio, delta)
+        built = build_auxiliary_graph(sites, energy)
         self._graphs[key] = built
         self._stored()
         return built
@@ -148,17 +211,35 @@ class ArtifactCache:
         kwarg pass through unchanged.  The injected objects are the same
         values the planner would otherwise build internally, so the tour
         is unchanged bitwise.
+
+        Options listed in :data:`ARTIFACT_OPTIONS` (currently
+        ``site_reduction``) are honoured: the injected sites/graph/
+        conflict lists are built over the *reduced* geometry and keyed by
+        the reduction token, so cells differing only in reduction level
+        never share artifacts.  For capacity-dependent reductions the
+        caller's *energy* is the reachability bound — batch columns pass
+        their largest-capacity variant (see
+        :func:`repro.experiments.runner.run_sweep`).
         """
         if method not in CACHEABLE_METHODS or "delta" not in kwargs:
             return kwargs
         delta = float(kwargs["delta"])
+        reduction = resolve_reduction(kwargs.get("site_reduction"))
         augmented = dict(kwargs)
-        augmented["sites"] = self.sites(network, radio, delta)
+        if reduction.enabled:
+            options = self._reduction_token(reduction, energy)
+            sites: HoveringSites = self.reduced_sites(
+                network, radio, delta, reduction, energy)
+        else:
+            options = ""
+            sites = self.sites(network, radio, delta)
+        augmented["sites"] = sites
         if method == "algorithm1":
-            augmented["graph"] = self.graph(network, radio, delta, energy)
+            augmented["graph"] = self.graph(network, radio, delta, energy,
+                                            sites=sites, options=options)
             if kwargs.get("overlap", "conflict") == "conflict":
                 augmented["conflict_neighbors"] = self.conflict_neighbors(
-                    network, radio, delta)
+                    network, radio, delta, sites=sites, options=options)
         return augmented
 
     def stats(self) -> Dict[str, int]:
@@ -183,4 +264,5 @@ def resolve_cache(cache: Any) -> Optional[ArtifactCache]:
     raise TypeError(f"cache must be a bool or ArtifactCache, got {cache!r}")
 
 
-__all__ = ["ArtifactCache", "CACHEABLE_METHODS", "resolve_cache"]
+__all__ = ["ArtifactCache", "ARTIFACT_OPTIONS", "CACHEABLE_METHODS",
+           "resolve_cache"]

@@ -97,6 +97,16 @@ def _build_parser() -> argparse.ArgumentParser:
                              "engine='batch' call (Fig. 5's capacity "
                              "sweep; identical results, stacked numpy "
                              "execution)")
+    parser.add_argument("--site-reduction",
+                        choices=["off", "safe", "aggressive"],
+                        default="off",
+                        help="candidate-site reduction pre-pass ahead of "
+                             "Algorithms 1-3: 'safe' drops only provably "
+                             "plan-preserving sites (identical tours, "
+                             "less work), 'aggressive' adds dominated-"
+                             "coverage, cluster-representative, and TSP-"
+                             "corridor filtering (near-identical volumes, "
+                             "much less work; see DESIGN.md)")
     return parser
 
 
@@ -137,10 +147,13 @@ def main(argv=None) -> int:
         print(f"== {fig} ({config.label} scale, |V|={config.n_nodes}, "
               f"{config.n_instances} instances, jobs={args.jobs}) ==",
               file=sys.stderr)
+        reduction = (None if args.site_reduction == "off"
+                     else args.site_reduction)
         with activated(tracer):
             result = RUNNERS[fig](config, progress=progress,
                                   jobs=args.jobs, cache=not args.no_cache,
-                                  batch_columns=args.batch_columns)
+                                  batch_columns=args.batch_columns,
+                                  site_reduction=reduction)
         print(rows_to_markdown(result, title=f"{fig} — {config.label} scale"))
         if args.ascii:
             print(render_sweep(result, panel="volume"))

@@ -41,7 +41,8 @@ def run_fig3(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, n_restarts: int = 3, validate: bool = True,
              progress=None, jobs: int = 1, cache: bool = True,
-             batch_columns: bool = False) -> SweepResult:
+             batch_columns: bool = False,
+             site_reduction=None) -> SweepResult:
     """Run the Fig. 3 capacity sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
@@ -50,6 +51,9 @@ def run_fig3(config: ExperimentConfig,
     ``batch_columns`` is accepted for interface uniformity but is a
     no-op here: Algorithm 1 and the benchmark have no stacked
     formulation, so no Fig. 3 spec forms a batchable column.
+    ``site_reduction`` applies the candidate-site reduction pre-pass to
+    the Algorithm 1 cells (the benchmark has no δ-grid); note the GRASP
+    renumbering caveat in :func:`repro.core.algorithm1.plan_algorithm1`.
     """
     if instances is None:
         instances = make_instances(config)
@@ -64,7 +68,8 @@ def run_fig3(config: ExperimentConfig,
         progress=progress,
         jobs=jobs,
         cache=cache,
-        batch_columns=batch_columns)
+        batch_columns=batch_columns,
+        site_reduction=site_reduction)
 
 
 __all__ = ["run_fig3", "fig3_algorithms"]

@@ -38,7 +38,8 @@ def run_fig4(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, validate: bool = True, progress=None,
              jobs: int = 1, cache: bool = True,
-             batch_columns: bool = False) -> SweepResult:
+             batch_columns: bool = False,
+             site_reduction=None) -> SweepResult:
     """Run the Fig. 4 δ sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
@@ -48,7 +49,9 @@ def run_fig4(config: ExperimentConfig,
     ``batch_columns`` is accepted for interface uniformity but is a
     no-op here: the swept δ changes every cell's kwargs, so no spec
     forms a batchable column (the runner detects this and keeps the
-    per-cell path).
+    per-cell path).  ``site_reduction`` applies the candidate-site
+    reduction pre-pass to every Algorithm 2/3 cell — the dense-δ end of
+    this sweep is where it pays the most (see ``DESIGN.md``).
     """
     if instances is None:
         instances = make_instances(config)
@@ -69,7 +72,8 @@ def run_fig4(config: ExperimentConfig,
         progress=progress,
         jobs=jobs,
         cache=cache,
-        batch_columns=batch_columns)
+        batch_columns=batch_columns,
+        site_reduction=site_reduction)
 
 
 __all__ = ["run_fig4", "fig4_algorithms"]

@@ -29,7 +29,8 @@ def run_fig5(config: ExperimentConfig,
              instances: Optional[Sequence[SensorNetwork]] = None,
              *, validate: bool = True, progress=None,
              jobs: int = 1, cache: bool = True,
-             batch_columns: bool = False) -> SweepResult:
+             batch_columns: bool = False,
+             site_reduction=None) -> SweepResult:
     """Run the Fig. 5 capacity sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
@@ -40,6 +41,10 @@ def run_fig5(config: ExperimentConfig,
     capacity column per instance in one ``engine="batch"`` call
     (identical tours, one stacked numpy program instead of one greedy
     loop per capacity; the benchmark keeps the per-cell path).
+    ``site_reduction`` applies the candidate-site reduction pre-pass to
+    the Algorithm 2/3 cells; capacity-dependent stages bound a batch
+    column by its largest capacity, so columns stay plan-preserving at
+    the ``safe`` level.
     """
     if instances is None:
         instances = make_instances(config)
@@ -60,7 +65,8 @@ def run_fig5(config: ExperimentConfig,
         progress=progress,
         jobs=jobs,
         cache=cache,
-        batch_columns=batch_columns)
+        batch_columns=batch_columns,
+        site_reduction=site_reduction)
 
 
 __all__ = ["run_fig5"]

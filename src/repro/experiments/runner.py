@@ -49,8 +49,10 @@ import numpy as np
 
 from repro.core.batch import plan_algorithm2_batch, plan_algorithm3_batch
 from repro.core.planner import plan_tour
+from repro.core.reduce import resolve_reduction
 from repro.energy.model import EnergyModel
-from repro.experiments.artifacts import ArtifactCache, resolve_cache
+from repro.experiments.artifacts import (CACHEABLE_METHODS, ArtifactCache,
+                                         resolve_cache)
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
 from repro.obs.ledger import get_ledger, record_event
@@ -273,6 +275,31 @@ def _emit_sweep_records(config: ExperimentConfig,
             extra={"column": s_idx, "width": len(param_values)})
 
 
+def _with_site_reduction(make_kwargs: Callable[[ExperimentConfig, float,
+                                                AlgoSpec], Dict[str, Any]],
+                         transport: Any
+                         ) -> Callable[[ExperimentConfig, float, AlgoSpec],
+                                       Dict[str, Any]]:
+    """Wrap *make_kwargs* to inject a ``site_reduction`` planner kwarg.
+
+    Injection targets only the δ-grid planners (the benchmark hovers over
+    sensors directly — nothing to reduce) and never overrides a
+    reduction a spec sets explicitly.  *transport* is the JSON-safe form
+    from :meth:`~repro.core.reduce.SiteReduction.transport` (a level
+    string or a plain dict), so the wrapped kwargs remain shippable to
+    parallel worker processes as data.
+    """
+    def wrapped(config: ExperimentConfig, value: float,
+                spec: AlgoSpec) -> Dict[str, Any]:
+        kwargs = make_kwargs(config, value, spec)
+        if spec.method not in CACHEABLE_METHODS or "site_reduction" in kwargs:
+            return kwargs
+        augmented = dict(kwargs)
+        augmented["site_reduction"] = transport
+        return augmented
+    return wrapped
+
+
 def run_sweep(config: ExperimentConfig,
               instances: Sequence[SensorNetwork],
               algorithms: Sequence[AlgoSpec],
@@ -286,7 +313,8 @@ def run_sweep(config: ExperimentConfig,
               trace: Optional[TracerLike] = None,
               jobs: int = 1,
               cache: Any = True,
-              batch_columns: bool = False) -> SweepResult:
+              batch_columns: bool = False,
+              site_reduction: Any = None) -> SweepResult:
     """Run a full sweep and aggregate per-cell statistics.
 
     Parameters
@@ -333,9 +361,24 @@ def run_sweep(config: ExperimentConfig,
         docstring).  Deterministic row fields other than the perf
         engine/counters are unchanged; ineligible specs keep the
         per-cell path.
+    site_reduction:
+        Candidate-site reduction pre-pass applied to every δ-grid cell
+        (``None``/``"off"``, ``"safe"``, ``"aggressive"``, a
+        :class:`~repro.core.reduce.SiteReduction`, or its dict form).
+        Implemented by wrapping *make_kwargs* with a JSON-safe
+        ``site_reduction`` planner kwarg, so it reaches every execution
+        engine — sequential, parallel workers, and batch columns — the
+        same way; benchmark specs and specs that already set their own
+        ``site_reduction`` are left alone.  Capacity-dependent stages
+        bound a batch column by its largest capacity (see
+        :mod:`repro.core.batch`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    reduction = resolve_reduction(site_reduction)
+    if reduction.enabled:
+        make_kwargs = _with_site_reduction(make_kwargs,
+                                           reduction.transport())
     if jobs > 1:
         from repro.experiments.parallel import run_sweep_parallel
         return run_sweep_parallel(
@@ -488,9 +531,9 @@ def _aggregate_samples(param_name: str, value: float, spec: AlgoSpec,
 #: A spec using any other option falls back to the per-cell path.
 _COLUMN_KWARGS: Dict[str, frozenset] = {
     "algorithm2": frozenset({"delta", "polish", "scoring", "max_iterations",
-                             "engine", "tsp_mode"}),
+                             "engine", "tsp_mode", "site_reduction"}),
     "algorithm3": frozenset({"delta", "K", "polish", "max_iterations",
-                             "engine"}),
+                             "engine", "site_reduction"}),
 }
 
 
@@ -558,9 +601,13 @@ def _plan_column_instance(net: SensorNetwork,
     """
     call_kwargs = dict(kwargs)
     if cache is not None:
-        # Outside the timer, like the per-cell path: the site cache key
-        # only involves geometry, so any of the column's energies works.
-        call_kwargs = cache.augment_kwargs(net, energies[0], radio,
+        # Outside the timer, like the per-cell path.  The largest
+        # capacity is the column's reachability bound for capacity-
+        # dependent site reductions (matching _reduce_column_sites in
+        # repro.core.batch); plain geometry keys ignore the capacity, so
+        # the choice is free for unreduced columns.
+        cap_energy = max(energies, key=lambda e: e.capacity)
+        call_kwargs = cache.augment_kwargs(net, cap_energy, radio,
                                            spec.method, call_kwargs)
     delta = call_kwargs.pop("delta")
     call_kwargs.pop("engine", None)
@@ -601,7 +648,8 @@ def _population_std(values: Sequence[float]) -> float:
 
 __all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
            "PERF_SECONDS_PREFIX", "sweep_cells", "format_progress",
-           "batchable_column", "_flatten_perf", "_fold_perf_ambient",
+           "batchable_column", "_with_site_reduction",
+           "_flatten_perf", "_fold_perf_ambient",
            "_emit_sweep_records", "_run_cell", "_instance_sample",
            "_aggregate_samples", "_plan_column_instance",
            "_population_std"]

@@ -238,6 +238,12 @@ register_case(BenchCase(
     config={**_PLAN_CONFIG, "method": "algorithm2", "engine": "kernel"},
     fn=lambda: _plan_workload("algorithm2", engine="kernel")))
 register_case(BenchCase(
+    name="plan.alg2_reduce", suites=("smoke",),
+    config={**_PLAN_CONFIG, "method": "algorithm2", "engine": "kernel",
+            "site_reduction": "aggressive"},
+    fn=lambda: _plan_workload("algorithm2", engine="kernel",
+                              site_reduction="aggressive")))
+register_case(BenchCase(
     name="plan.alg3_kernel", suites=("smoke",),
     config={**_PLAN_CONFIG, "method": "algorithm3", "K": 2,
             "engine": "kernel"},

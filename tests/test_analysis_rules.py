@@ -265,6 +265,37 @@ class TestHotPathPurity:
         assert len(found) == 1
         assert found[0].message.startswith("broadcasted dense temporary")
 
+    def test_fires_on_gram_matmul(self, tmp_path):
+        # The site-reduction pre-pass motivated this check: a dense
+        # cov @ cov.T intersection-count gram matrix is (m, m).
+        bad = """
+            # repro: hot-path
+            import numpy as np
+
+            def overlaps(cov):
+                return (cov @ cov.T) > 0
+
+            def cross(a, b):
+                return a.T @ b
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": bad})
+        found = rule_findings(project, HotPathPurityRule())
+        assert len(found) == 2
+        assert all("gram-matrix matmul" in f.message for f in found)
+
+    def test_quiet_on_plain_matmul(self, tmp_path):
+        # Matmuls without a transposed operand are how the kernel *avoids*
+        # gram matrices (matvec products, pre-chunked sparse operands).
+        good = """
+            # repro: hot-path
+            import numpy as np
+
+            def award(cov, volumes, chunk, at):
+                return cov @ volumes, chunk @ at
+        """
+        project = make_project(tmp_path, {"src/repro/core/k.py": good})
+        assert rule_findings(project, HotPathPurityRule()) == []
+
     def test_quiet_on_3d_axis_alignment(self, tmp_path):
         # A lone trailing-axis insert (scaling a (B, m, K) table by a
         # (B, m) one) broadcasts against existing axes — no new dense
