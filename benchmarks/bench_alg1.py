@@ -1,0 +1,277 @@
+"""Algorithm 1 engine benchmark: vectorized GRASP speedup at paper scale.
+
+Runs the paper-scale Fig. 3 capacity column (the Algorithm 1 series of
+the capacity sweep, |V|=500 by default) once per orienteering engine —
+``scalar`` (restart-by-restart GRASP over a fully validated instance)
+and ``fast`` (the stacked construction engine of
+:mod:`repro.orienteering.fast` over a trusted instance) — and records:
+
+1. **equivalence** — the two engines' rows must be bitwise-identical
+   minus wall-clock (same tours, same volumes, same instance counts);
+   the per-row ``grasp.*`` restart counters must also agree,
+2. **speedup** — end-to-end column wall-clock ratio ``scalar / fast``
+   (best of ``--repeats``), gated at ``--min-speedup`` (default 3x, the
+   PR acceptance floor),
+3. **δ-continuation** — the paper-scale Fig. 4-style δ chain
+   (``run_sweep(..., delta_continuation=True)``) against the cold fast
+   sweep over the same δ grid: every chained cell's volume must be >=
+   its cold value (strict-improvement warm starts, reduction off), and
+   the chain's warm payloads must actually fire (``grasp.warm_starts``),
+4. **ledger records** — one ``bench.case`` record per timed mode,
+   self-checked round-trip compatible with ``repro-bench compare --gate``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_alg1.py --out BENCH_PR10.json
+
+The committed ``BENCH_PR10.json`` records the reference numbers; the
+script self-checks every claim above and exits non-zero when one breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.experiments.config import paper_settings
+from repro.experiments.instances import make_instances
+from repro.experiments.runner import AlgoSpec, SweepResult, run_sweep
+from repro.obs.bench import _rows_counters
+from repro.obs.ledger import Ledger, ledger_active, record_event
+from repro.obs.record import config_hash
+from repro.obs.regress import Thresholds, compare
+
+ENGINES = ("scalar", "fast")
+
+
+def _bench_config(nodes: int, instances: int):
+    return paper_settings().scaled(n_nodes=nodes, n_instances=instances)
+
+
+def _alg1_spec(config, engine: str, n_restarts: int) -> AlgoSpec:
+    return AlgoSpec("Algorithm 1", "algorithm1",
+                    {"delta": config.delta, "solver": "grasp",
+                     "n_restarts": n_restarts, "seed": 0,
+                     "engine": engine})
+
+
+def _capacity_column(config, nets, engine: str,
+                     n_restarts: int) -> SweepResult:
+    """The Fig. 3 capacity column: Algorithm 1 alone over the sweep."""
+    spec = _alg1_spec(config, engine, n_restarts)
+    return run_sweep(
+        config, nets, [spec],
+        param_name="capacity", param_values=list(config.capacity_sweep),
+        make_energy=lambda cfg, value: cfg.energy_model(capacity=value),
+        make_kwargs=lambda cfg, value, s: dict(s.kwargs),
+        validate=True, cache=True)
+
+
+def _delta_sweep(config, nets, deltas: List[float], n_restarts: int,
+                 continuation: bool) -> SweepResult:
+    spec = AlgoSpec("Algorithm 1", "algorithm1",
+                    {"solver": "grasp", "n_restarts": n_restarts,
+                     "seed": 0, "engine": "fast"})
+
+    def make_kwargs(cfg, value, s):
+        return {**s.kwargs, "delta": value}
+
+    return run_sweep(
+        config, nets, [spec],
+        param_name="delta", param_values=deltas,
+        make_energy=lambda cfg, value: cfg.energy_model(),
+        make_kwargs=make_kwargs, validate=True, cache=True,
+        delta_continuation=continuation)
+
+
+def _timed(fn, repeats: int) -> Tuple[float, List[float], Any]:
+    times, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), [round(t, 4) for t in times], result
+
+
+def _nontime_rows(result: SweepResult) -> List[Dict[str, Any]]:
+    rows = []
+    for row in result.rows:
+        d = row.as_dict()
+        del d["mean_time_s"], d["std_time_s"]
+        rows.append(d)
+    return rows
+
+
+def _grasp_counters(result: SweepResult) -> List[Dict[str, float]]:
+    """Per-row ``grasp.*`` perf counters (engine-independent work)."""
+    out = []
+    for row in result.rows:
+        perf = row.perf or {}
+        out.append({k: v for k, v in perf.items()
+                    if k.startswith("grasp.")})
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=500,
+                        help="sensor count |V| (default 500, paper scale)")
+    parser.add_argument("--instances", type=int, default=1,
+                        help="instances per data point (default 1)")
+    parser.add_argument("--restarts", type=int, default=8,
+                        help="GRASP restarts per cell (default 8)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed runs per mode, best kept (default 1)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fast-engine capacity-column speedup floor "
+                             "(default 3, the PR acceptance gate)")
+    parser.add_argument("--deltas", type=float, nargs="+",
+                        default=[10.0, 15.0, 20.0, 25.0, 30.0],
+                        help="δ grid for the continuation section "
+                             "(default 10..30; the paper's δ=5 point is "
+                             "skipped — its grid dwarfs the others)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    import tempfile
+    from pathlib import Path
+    config = _bench_config(args.nodes, args.instances)
+    nets = make_instances(config)
+    campaign = {
+        "figure": "fig3-column", "n_nodes": args.nodes,
+        "n_instances": args.instances, "delta": config.delta,
+        "capacity_sweep": list(config.capacity_sweep),
+        "n_restarts": args.restarts, "repeats": args.repeats,
+        "continuation_deltas": list(args.deltas),
+    }
+    failures: List[str] = []
+
+    runs: Dict[str, Dict[str, Any]] = {}
+    for engine in ENGINES:
+        print(f"running fig3 capacity column: engine={engine}...",
+              file=sys.stderr)
+        wall, wall_all, result = _timed(
+            lambda: _capacity_column(config, nets, engine, args.restarts),
+            args.repeats)
+        runs[engine] = {"wall_s": wall, "wall_s_all": wall_all,
+                        "result": result}
+        print(f"  {wall:.2f} s", file=sys.stderr)
+
+    identical = (_nontime_rows(runs["scalar"]["result"])
+                 == _nontime_rows(runs["fast"]["result"]))
+    if not identical:
+        failures.append("fast rows differ from scalar rows")
+    if _grasp_counters(runs["scalar"]["result"]) \
+            != _grasp_counters(runs["fast"]["result"]):
+        failures.append("fast grasp.* counters differ from scalar")
+    speedup = runs["scalar"]["wall_s"] / runs["fast"]["wall_s"]
+    if speedup < args.min_speedup:
+        failures.append(f"fast speedup {speedup:.2f}x below the "
+                        f"{args.min_speedup}x floor")
+
+    print("running δ sweep: cold fast...", file=sys.stderr)
+    cold_wall, cold_all, cold = _timed(
+        lambda: _delta_sweep(config, nets, args.deltas, args.restarts,
+                             continuation=False), args.repeats)
+    print(f"  {cold_wall:.2f} s", file=sys.stderr)
+    print("running δ sweep: fast + continuation...", file=sys.stderr)
+    warm_wall, warm_all, warm = _timed(
+        lambda: _delta_sweep(config, nets, args.deltas, args.restarts,
+                             continuation=True), args.repeats)
+    print(f"  {warm_wall:.2f} s", file=sys.stderr)
+
+    warm_starts = sum((r.perf or {}).get("grasp.warm_starts", 0.0)
+                      for r in warm.rows)
+    if warm.meta.get("continuation_chains", 0) < 1:
+        failures.append("continuation sweep chained no specs")
+    if warm_starts < len(args.deltas) - 1:
+        failures.append(f"only {warm_starts:.0f} warm starts fired over "
+                        f"{len(args.deltas)} δ cells")
+    regressed = [
+        (rc.param_value, rc.mean_volume_gb, rw.mean_volume_gb)
+        for rc, rw in zip(cold.rows, warm.rows)
+        if rw.mean_volume_gb < rc.mean_volume_gb - 1e-12]
+    if regressed:
+        failures.append(f"continuation cells below cold-start volume: "
+                        f"{regressed}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = Path(tmp) / "bench_alg1.jsonl"
+        ledger = Ledger(ledger_path)
+        with ledger_active(ledger):
+            for engine in ENGINES:
+                record_event(
+                    "bench.case", label=f"alg1.fig3_column.{engine}",
+                    config_hash=config_hash({**campaign,
+                                             "engine": engine}),
+                    engine=engine, wall_s=runs[engine]["wall_s"],
+                    metrics={"counters":
+                             _rows_counters(runs[engine]["result"].rows)},
+                    extra={"suite": "bench_alg1"})
+            for label, wall, result in (
+                    ("alg1.delta_cold", cold_wall, cold),
+                    ("alg1.delta_continuation", warm_wall, warm)):
+                record_event(
+                    "bench.case", label=label,
+                    config_hash=config_hash({**campaign, "mode": label}),
+                    engine="fast", wall_s=wall,
+                    metrics={"counters": _rows_counters(result.rows)},
+                    extra={"suite": "bench_alg1"})
+        n_records = len(ledger)
+        records = Ledger.read(ledger_path)
+    roundtrip = compare(records, records,
+                        Thresholds(time_ratio=1.5, min_time_s=1e-4))
+    if not roundtrip.passed:
+        failures.append("identical-ledger gate round-trip failed")
+
+    for failure in failures:
+        print(f"FATAL: {failure}", file=sys.stderr)
+
+    report = {
+        "benchmark": "bench_alg1",
+        "campaign": campaign,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "floors": {"min_speedup": args.min_speedup},
+        "capacity_column": {
+            engine: {"wall_s": round(runs[engine]["wall_s"], 4),
+                     "wall_s_all": runs[engine]["wall_s_all"]}
+            for engine in ENGINES},
+        "speedup_scalar_over_fast": round(speedup, 2),
+        "rows_identical": identical,
+        "continuation": {
+            "cold_wall_s": round(cold_wall, 4),
+            "warm_wall_s": round(warm_wall, 4),
+            "warm_starts": warm_starts,
+            "volumes_gb": {
+                "cold": [round(r.mean_volume_gb, 4) for r in cold.rows],
+                "warm": [round(r.mean_volume_gb, 4) for r in warm.rows],
+            },
+        },
+        "ledger": {
+            "records": n_records,
+            "gate_roundtrip_passed": roundtrip.passed,
+        },
+        "self_check_passed": not failures,
+    }
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

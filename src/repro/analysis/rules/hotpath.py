@@ -17,7 +17,14 @@ rule makes the contract machine-checked: inside code marked
   two-axis pattern alone would miss a dense rescore),
 * gram-matrix matmuls ``x @ y.T`` / ``x.T @ y`` — the dense
   ``(m, m)`` intersection-count products the site-reduction pre-pass
-  (``repro.core.reduce``) must build chunked and sparse instead.
+  (``repro.core.reduce``) must build chunked and sparse instead,
+* per-iteration reallocating calls — ``np.insert`` / ``np.delete`` /
+  ``np.append`` / ``np.concatenate`` — lexically inside a ``for`` /
+  ``while`` loop: each call copies its whole operand, so an
+  insertion-construction loop built on them is quadratic.  The
+  vectorized GRASP engine (``repro.orienteering``) keeps these out of
+  its per-restart loops; the one deliberate exception (the scalar
+  reference constructor) carries an allow comment.
 
 Scope markers nest: a ``# repro: hot-path`` comment at module top level
 marks the whole file; a function containing ``# repro: cold-path``
@@ -35,6 +42,10 @@ from typing import Iterator, List, Optional, Tuple
 from repro.analysis.engine import Finding, Project, SourceModule, iter_call_name
 
 _ALLOC_FUNCS = frozenset({"zeros", "ones", "empty", "full"})
+
+#: numpy calls that reallocate (copy) their whole operand — quadratic
+#: when issued once per loop iteration in hot code.
+_LOOP_ALLOC_FUNCS = frozenset({"insert", "delete", "append", "concatenate"})
 
 
 def _marker_scopes(mod: SourceModule
@@ -112,8 +123,14 @@ class HotPathPurityRule:
             module_hot, marked = _marker_scopes(mod)
             if not module_hot and not any(hot for _, _, hot in marked):
                 continue
+            loop_spans = [
+                (n.lineno, n.end_lineno) for n in ast.walk(mod.tree)
+                if isinstance(n, (ast.For, ast.While))
+                and n.end_lineno is not None]
             for node in ast.walk(mod.tree):
                 found = self._classify(node)
+                if found is None:
+                    found = self._classify_loop_alloc(node, loop_spans)
                 if found is None:
                     continue
                 if not _is_hot(node.lineno, module_hot, marked):
@@ -155,6 +172,29 @@ class HotPathPurityRule:
                          or _is_transpose(node.right)):
                 return "dense gram-matrix matmul (x @ y.T)"
         return None
+
+    @staticmethod
+    def _classify_loop_alloc(node: ast.AST,
+                             loop_spans: List[Tuple[int, int]]
+                             ) -> Optional[str]:
+        """Flag whole-array reallocations issued once per loop iteration.
+
+        Only unambiguous numpy calls (``np.…`` / ``numpy.…``) count —
+        a method call like ``samples.append(x)`` is an O(1) list append,
+        not a copy.
+        """
+        if not isinstance(node, ast.Call):
+            return None
+        chain = iter_call_name(node)
+        if len(chain) != 2 or chain[0] not in ("np", "numpy"):
+            return None
+        if chain[-1] not in _LOOP_ALLOC_FUNCS:
+            return None
+        if not any(start <= node.lineno <= end
+                   for start, end in loop_spans):
+            return None
+        return (f"per-iteration reallocation {'.'.join(chain)}(...) "
+                f"inside a loop")
 
 
 def _is_transpose(node: ast.expr) -> bool:

@@ -6,7 +6,9 @@ Three registries gate how users reach the planners:
   the ``method == "..."`` dispatch branches inside the facade (the
   ``plan_tour`` entry point or its ``_dispatch`` helper) exactly, in both
   directions;
-* ``repro.core.kernel.ENGINES`` must contain every ``engine=`` string
+* the engine registries — ``repro.core.kernel.ENGINES`` (the kernel
+  planners) unioned with ``repro.core.algorithm1.ENGINES`` (Algorithm 1's
+  GRASP engines) — must together contain every ``engine=`` string
   default in the library (function defaults and ``kwargs.pop("engine",
   ...)`` fallbacks alike);
 * ``docs/architecture.md`` must mention every planner method and every
@@ -26,6 +28,9 @@ from repro.analysis.engine import Finding, Project, SourceModule, iter_call_name
 
 _PLANNER_MODULE = "src/repro/core/planner.py"
 _KERNEL_MODULE = "src/repro/core/kernel.py"
+#: Further modules contributing their own ``ENGINES`` literal to the
+#: union the ``engine=`` defaults are checked against.
+_EXTRA_ENGINE_MODULES = ("src/repro/core/algorithm1.py",)
 _ARCH_DOC = "docs/architecture.md"
 
 
@@ -150,6 +155,17 @@ class RegistrySyncRule:
                                "read it")
             return
         known = set(engines)
+        for extra_rel in _EXTRA_ENGINE_MODULES:
+            extra = project.ensure_module(extra_rel)
+            if extra is None or extra.tree is None:
+                continue
+            extra_value = _top_level_assign(extra, "ENGINES")
+            extra_engines = (_string_elements(extra_value)
+                             if extra_value is not None else None)
+            if extra_engines:
+                known |= set(extra_engines)
+                engines = engines + [e for e in extra_engines
+                                     if e not in engines]
         for mod in project.repro_modules():
             if mod.tree is None:
                 continue
@@ -159,7 +175,8 @@ class RegistrySyncRule:
                         yield Finding(
                             rule=self.rule_id, path=mod.rel, line=line,
                             message=f"engine default {default!r} is not in "
-                                    f"core.kernel.ENGINES {tuple(engines)}",
+                                    f"the ENGINES registries "
+                                    f"{tuple(engines)}",
                             hint="register the engine in ENGINES or fix the "
                                  "default")
         arch = project.read_root_file(_ARCH_DOC)

@@ -36,11 +36,27 @@ from repro.core.tour import CollectionTour
 from repro.energy.model import EnergyModel
 from repro.network.sensor_network import SensorNetwork
 from repro.obs.tracer import span
-from repro.orienteering.problem import OrienteeringInstance
+from repro.orienteering.grasp import warm_tour_from_nodes
+from repro.orienteering.problem import OrienteeringInstance, trusted_instance
 from repro.orienteering.solver import solve_orienteering
 from repro.radio.link import RadioModel
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import SeedLike
+
+#: Engines accepted by Algorithm 1's ``engine=`` parameter.
+#: ``"scalar"`` — restart-by-restart GRASP over a fully-validated
+#: instance (default); ``"fast"`` — the stacked construction engine of
+#: :mod:`repro.orienteering.fast` over a trusted (validation-skipping)
+#: instance.  Both produce bitwise-identical tours.
+ENGINES = ("scalar", "fast")
+
+
+def check_engine(engine: str) -> str:
+    """Validate Algorithm 1's ``engine=`` argument."""
+    if engine not in ENGINES:
+        raise InvalidParameterError(
+            f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 def _conflict_neighbors_from_overlap(overlap: np.ndarray) -> List[np.ndarray]:
@@ -57,10 +73,12 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
                     solver: str = "grasp",
                     n_restarts: int = 8,
                     seed: SeedLike = None,
+                    engine: str = "scalar",
                     sites: Optional[HoveringSites] = None,
                     site_reduction=None,
                     graph: Optional[AuxiliaryGraph] = None,
-                    conflict_neighbors: Optional[List[np.ndarray]] = None
+                    conflict_neighbors: Optional[List[np.ndarray]] = None,
+                    warm_nodes=None
                     ) -> CollectionTour:
     """Plan a full-collection tour via the orienteering reduction.
 
@@ -77,6 +95,12 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         Orienteering backend (``"auto"``/``"exact"``/``"grasp"``/``"greedy"``).
     n_restarts, seed:
         GRASP parameters.
+    engine:
+        ``"scalar"`` (default) or ``"fast"`` — the stacked GRASP engine
+        (:mod:`repro.orienteering.fast`), which also skips the O(n²)
+        instance re-validation (the inputs are this module's own
+        builders' outputs).  Both engines return bitwise-identical
+        tours; the choice is surfaced under ``meta["perf"]["engine"]``.
     sites, graph, conflict_neighbors:
         Pre-built reduction inputs (else built from the problem inputs).
         Sweep campaigns memoize these per (instance, δ) via
@@ -87,13 +111,24 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         Candidate-site reduction pre-pass (``None``/``"off"``, ``"safe"``,
         ``"aggressive"``, or a :class:`~repro.core.reduce.SiteReduction` /
         its dict form), applied before the auxiliary graph is built.
-        NOTE: unlike Algorithms 2/3, even the ``safe`` level can change a
-        GRASP solution here — removing sites renumbers the solver's node
-        ids and shifts its seeded-RNG stream (the solution remains
-        feasible and the achievable optimum is unchanged; only the
-        ``solver="greedy"`` path is renumbering-invariant).  When a
-        pre-built *graph*/*conflict_neighbors* is supplied it must have
-        been built over the same reduced sites.
+        GRASP restarts draw their RNG tape against the *original* site
+        count and pick from index-sorted candidate lists, so the
+        ``safe`` level (a pure renumbering of survivors) leaves every
+        restart's choices — and hence the tour — invariant; only the
+        ``aggressive`` stages, which change the candidate geometry
+        itself, can change a solution.  When a pre-built
+        *graph*/*conflict_neighbors* is supplied it must have been built
+        over the same reduced sites.
+    warm_nodes:
+        Optional warm-start hint: candidate node indices in this call's
+        (reduced) node index space — e.g. the finer grid's nearest sites
+        to a coarser δ-grid's tour stops (the δ-continuation mode of
+        :func:`repro.experiments.runner.run_sweep`).  A deterministic
+        greedy construction restricted to these nodes
+        (:func:`~repro.orienteering.grasp.warm_tour_from_nodes`) is
+        polished *after* the GRASP restarts and kept only on strict
+        improvement, so a non-improving warm start leaves the tour
+        bitwise unchanged.
 
     Returns
     -------
@@ -103,6 +138,7 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
     if overlap not in ("conflict", "ignore"):
         raise InvalidParameterError(
             f"overlap must be 'conflict' or 'ignore', got {overlap!r}")
+    engine = check_engine(engine)
     r0 = radio.coverage_radius
     if delta > r0:
         raise InvalidParameterError(
@@ -139,11 +175,31 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
                          else _conflict_neighbors_from_overlap(
                              sites.overlap_matrix()))
 
-    instance = OrienteeringInstance(costs=graph.costs, awards=graph.awards,
-                                    budget=energy.capacity, depot=0,
+    if engine == "fast":
+        # The graph/conflict artifacts come from this module's own
+        # builders (or the artifact cache replaying them), so the O(n²)
+        # re-validation of OrienteeringInstance.__post_init__ is skipped.
+        instance = trusted_instance(graph.costs, graph.awards,
+                                    energy.capacity, depot=0,
                                     conflict_neighbor_lists=neighbors)
+    else:
+        instance = OrienteeringInstance(costs=graph.costs,
+                                        awards=graph.awards,
+                                        budget=energy.capacity, depot=0,
+                                        conflict_neighbor_lists=neighbors)
+    # The graph (cached across a sweep's cells) owns the transposed cost
+    # matrix; attach it so per-cell instances never re-transpose.
+    instance.attach_costs_t(graph.costs_t)
+    # Reduction-aware seeding: size the GRASP RNG tape by the *original*
+    # site count so restarts replay identically on reduced instances.
+    tape_nodes = (sites.n_original + 1 if isinstance(sites, ReducedSites)
+                  else None)
+    warm_tour = (warm_tour_from_nodes(instance, warm_nodes)
+                 if warm_nodes is not None else None)
     solution = solve_orienteering(instance, method=solver,
-                                  n_restarts=n_restarts, seed=seed)
+                                  n_restarts=n_restarts, seed=seed,
+                                  engine=engine, tape_nodes=tape_nodes,
+                                  warm_tour=warm_tour)
 
     visited_sites = solution.tour[solution.tour > 0] - 1  # back to site ids
     points = graph.points[solution.tour]
@@ -162,6 +218,8 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         "orienteering_cost": solution.cost,
         "overlap_mode": overlap,
         "delta": float(delta),
+        "perf": {"engine": engine,
+                 **({"grasp": solution.stats} if solution.stats else {})},
     }
     attach_reduction_meta(meta, sites)
     return CollectionTour(
@@ -170,4 +228,4 @@ def plan_algorithm1(network: SensorNetwork, energy: EnergyModel,
         meta=meta)
 
 
-__all__ = ["plan_algorithm1"]
+__all__ = ["plan_algorithm1", "ENGINES", "check_engine"]

@@ -205,6 +205,7 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
                 deltas = np.full(m, np.inf)
                 cur_nodes = np.array(kern.tour, dtype=int)
                 for j in np.flatnonzero(eligible):
+                    # repro: allow[hot-path-purity] -- tour-node list for the christofides TSP mode, O(|tour|) not O(m*n)
                     cand_nodes = np.append(cur_nodes, j + 1)
                     cand_tour = christofides_tour(dist_all, start=0,
                                                   nodes=cand_nodes)
@@ -227,6 +228,7 @@ def plan_algorithm2(network: SensorNetwork, energy: EnergyModel,
                 kern.insert(j)
                 tour_len += float(deltas[j])
             else:
+                # repro: allow[hot-path-purity] -- tour-node list for the christofides TSP mode, O(|tour|) per accepted node
                 cur_nodes = np.append(np.array(kern.tour, dtype=int), node)
                 new_tour = christofides_tour(dist_all, start=0,
                                              nodes=cur_nodes)

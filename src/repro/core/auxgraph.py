@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.hovering import HoveringSites
 from repro.energy.model import EnergyModel
 from repro.geometry.distance import pairwise_distances
+from repro.orienteering.problem import transpose_copy
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import as_rng
 
@@ -59,6 +60,21 @@ class AuxiliaryGraph:
     def n_nodes(self) -> int:
         """Node count ``m + 1`` (depot included)."""
         return len(self.points)
+
+    @property
+    def costs_t(self) -> np.ndarray:
+        """C-contiguous transpose of ``costs``, built lazily and cached.
+
+        Shared across every cell of a sweep that reuses this graph via
+        the artifact cache, and attached to each cell's orienteering
+        instance (:meth:`OrienteeringInstance.attach_costs_t`) so the
+        planners' row-gather kernels never re-transpose per cell.
+        """
+        ct = getattr(self, "_costs_t", None)
+        if ct is None:
+            ct = transpose_copy(self.costs)
+            self._costs_t = ct
+        return ct
 
     def tour_energy(self, tour) -> float:
         """Energy of a closed tour = sum of its ``w2`` edge weights."""
@@ -106,9 +122,14 @@ def build_auxiliary_graph(sites: HoveringSites,
     w1 = hover_times * energy.hover_power
     awards = np.concatenate([[0.0], sites.awards])
 
+    # In-place accumulation: bitwise-identical to
+    # ``0.5 * (w1[:, None] + w1[None, :]) + dist * rate`` (same elementwise
+    # operations in the same order) without the three (m+1, m+1) temps.
     dist = pairwise_distances(points)
-    travel = dist * energy.travel_cost_per_meter
-    costs = 0.5 * (w1[:, None] + w1[None, :]) + travel
+    dist *= energy.travel_cost_per_meter
+    costs = w1[:, None] + w1[None, :]
+    costs *= 0.5
+    costs += dist
     np.fill_diagonal(costs, 0.0)
     return AuxiliaryGraph(points=points, costs=costs, awards=awards,
                           hover_energies=w1, hover_times=hover_times,

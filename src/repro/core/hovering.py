@@ -72,9 +72,17 @@ class HoveringSites:
 
         Used by Algorithm 1's no-overlap conflict groups.  The diagonal is
         False (a site does not conflict with itself).
+
+        Coverage sets are tiny relative to ``m`` (a site covers only the
+        sensors within ``R0``), so the intersection test runs as a sparse
+        CSR gram product — the dense integer matmul it replaces has no
+        BLAS path and dominated paper-scale artifact construction.
         """
-        cov = self.cov_matrix.astype(np.uint8)
-        inter = (cov @ cov.T) > 0
+        from scipy import sparse
+
+        cov = sparse.csr_matrix(self.cov_matrix)
+        # repro: allow[hot-path-purity] -- sparse CSR product, nnz-bounded
+        inter = (cov @ cov.T).toarray() > 0
         np.fill_diagonal(inter, False)
         return inter
 

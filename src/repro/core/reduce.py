@@ -262,7 +262,8 @@ def attach_reduction_meta(meta: Dict[str, Any],
 def reduce_sites(sites: HoveringSites,
                  reduction: Union[None, str, Mapping[str, Any],
                                   SiteReduction] = None, *,
-                 energy: Optional[EnergyModel] = None) -> ReducedSites:
+                 energy: Optional[EnergyModel] = None,
+                 corridor_seed: Optional[np.ndarray] = None) -> ReducedSites:
     """Run the configured reduction stages over *sites*.
 
     ``energy`` feeds the ``unreachable`` stage (its capacity is the
@@ -271,10 +272,17 @@ def reduce_sites(sites: HoveringSites,
     the largest battery is unreachable for every variant, which keeps the
     pre-pass plan-preserving column-wide.
 
+    ``corridor_seed`` warm-starts the TSP-corridor stage: an ``(t, 2)``
+    array of already-planned hover points (a coarser δ-grid's tour, the
+    δ-continuation mode) used as the corridor skeleton *instead of* the
+    greedy set-cover one — the corridor follows where the coarse tour
+    actually went.  Ignored unless the config's ``corridor`` stage runs.
+
     The result is a pure, deterministic function of
-    ``(sites, reduction config, capacity bound)`` — no RNG, no ordering
-    sensitivity — which is what lets the artifact cache memoize it and
-    the parallel executor reproduce it in any worker.
+    ``(sites, reduction config, capacity bound, corridor seed)`` — no
+    RNG, no ordering sensitivity — which is what lets the artifact cache
+    memoize it (the seed joins the cache key) and the parallel executor
+    reproduce it in any worker.
     """
     cfg = resolve_reduction(reduction)
     if isinstance(sites, ReducedSites):
@@ -301,8 +309,11 @@ def reduce_sites(sites: HoveringSites,
             with span("reduce.cluster"):
                 stats["clustered"] = _drop_clustered(sites, keep, cfg)
         if cfg.corridor:
-            with span("reduce.corridor"):
-                stats["corridor"] = _drop_off_corridor(sites, keep, cfg)
+            with span("reduce.corridor",
+                      seeded=bool(corridor_seed is not None
+                                  and len(corridor_seed))):
+                stats["corridor"] = _drop_off_corridor(
+                    sites, keep, cfg, seed_points=corridor_seed)
         if aggressive:
             stats["repaired"] = _repair_coverage(sites, keep, safe_keep)
     survivors = np.flatnonzero(keep)
@@ -456,7 +467,8 @@ def _drop_clustered(sites: HoveringSites, keep: np.ndarray,
 
 
 def _drop_off_corridor(sites: HoveringSites, keep: np.ndarray,
-                       cfg: SiteReduction) -> int:
+                       cfg: SiteReduction,
+                       seed_points: Optional[np.ndarray] = None) -> int:
     """Keep the corridor of a cheap tour over a set-cover skeleton.
 
     The skeleton is a greedy max-residual-award set cover of the kept
@@ -466,33 +478,44 @@ def _drop_off_corridor(sites: HoveringSites, keep: np.ndarray,
     tour is within ``corridor_budget_factor``·R0 metres — the Krishnan
     et al. reduction with a distance-denominated budget, so every
     capacity variant of a batch column computes the same survivor set.
+
+    With *seed_points* (the δ-continuation warm start) the skeleton step
+    is skipped entirely: the corridor tour is built over depot + the
+    seed points — the coarser grid's planned hover stops — and every
+    kept site is tested against it (the coverage-repair step still
+    restores any sensor the seeded corridor would orphan).
     """
     kept_idx = np.flatnonzero(keep)
     k = len(kept_idx)
     if k <= 2:
         return 0
-    cov = sites.cov_matrix[kept_idx]
-    csr = SparseCoverage.from_matrix(cov)
-    volumes = sites.network.volumes.astype(float).copy()
-    res_award = cov @ volumes
-    in_skeleton = np.zeros(k, dtype=bool)
-    while True:
-        j = int(np.argmax(res_award))
-        if res_award[j] <= _AWARD_TOL:
-            break
-        in_skeleton[j] = True
-        drained = csr.sensors_of(j)
-        for v in drained:
-            if volumes[v] > 0.0:
-                res_award[csr.sites_of(v)] -= volumes[v]
-                volumes[v] = 0.0
-
-    skeleton = np.flatnonzero(in_skeleton)
-    if len(skeleton) == k:
-        return 0
     points = sites.points[kept_idx]
-    corridor_pts = np.vstack([sites.network.depot[None, :],
-                              points[skeleton]])
+    if seed_points is not None and len(seed_points):
+        in_skeleton = np.zeros(k, dtype=bool)
+        corridor_pts = np.vstack([sites.network.depot[None, :],
+                                  np.asarray(seed_points, dtype=float)])
+    else:
+        cov = sites.cov_matrix[kept_idx]
+        csr = SparseCoverage.from_matrix(cov)
+        volumes = sites.network.volumes.astype(float).copy()
+        res_award = cov @ volumes
+        in_skeleton = np.zeros(k, dtype=bool)
+        while True:
+            j = int(np.argmax(res_award))
+            if res_award[j] <= _AWARD_TOL:
+                break
+            in_skeleton[j] = True
+            drained = csr.sensors_of(j)
+            for v in drained:
+                if volumes[v] > 0.0:
+                    res_award[csr.sites_of(v)] -= volumes[v]
+                    volumes[v] = 0.0
+
+        skeleton = np.flatnonzero(in_skeleton)
+        if len(skeleton) == k:
+            return 0
+        corridor_pts = np.vstack([sites.network.depot[None, :],
+                                  points[skeleton]])
     # repro: allow[hot-path-purity] -- (skeleton+1)^2 only, not (m, m)
     dist = pairwise_distances(corridor_pts)
     tour = nearest_neighbor_tour(dist, start=0)

@@ -32,6 +32,7 @@ the full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` per mode.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -54,7 +55,10 @@ CACHEABLE_METHODS = ("algorithm1", "algorithm2", "algorithm3")
 #: MUST be listed here: its token joins every cache key, so two cells
 #: differing only in such an option can never share artifacts (the
 #: regression test in tests/test_experiments_artifacts_keys.py pins it).
-ARTIFACT_OPTIONS = ("site_reduction",)
+#: ``corridor_seed`` (the δ-continuation warm start) is consumed by
+#: :meth:`ArtifactCache.augment_kwargs` — it seeds the reduction's
+#: corridor stage and never reaches the planner itself.
+ARTIFACT_OPTIONS = ("site_reduction", "corridor_seed")
 
 _SiteKey = Tuple[int, float, float, float, str]
 _GraphKey = Tuple[int, float, float, float, str, float, float]
@@ -102,18 +106,27 @@ class ArtifactCache:
                 float(radio.coverage_radius), options)
 
     @staticmethod
-    def _reduction_token(reduction: SiteReduction,
-                         energy: EnergyModel) -> str:
+    def _reduction_token(reduction: SiteReduction, energy: EnergyModel,
+                         corridor_seed: Optional[Any] = None) -> str:
         """The cache-key fragment of one reduction config.
 
         Canonical-JSON config plus, for capacity-dependent stages, the
         exact reachability bound (capacity and travel rate): two cells
-        whose survivor sets could legally differ never share a key.
+        whose survivor sets could legally differ never share a key.  A
+        ``corridor_seed`` (δ-continuation) joins the token — hashed over
+        its exact float bytes — whenever the corridor stage would
+        consume it, so seeded and cold reductions never share survivors.
         """
         token = reduction.key()
         if reduction.capacity_dependent:
             token += (f"|cap={float(energy.capacity)!r}"
                       f"|rate={float(energy.travel_cost_per_meter)!r}")
+        if reduction.corridor and corridor_seed is not None:
+            seed = np.ascontiguousarray(
+                np.asarray(corridor_seed, dtype=float))
+            if seed.size:
+                token += "|seed=" + hashlib.sha256(
+                    seed.tobytes()).hexdigest()[:24]
         return token
 
     def sites(self, network: SensorNetwork, radio: RadioModel,
@@ -132,14 +145,17 @@ class ArtifactCache:
 
     def reduced_sites(self, network: SensorNetwork, radio: RadioModel,
                       delta: float, reduction: SiteReduction,
-                      energy: EnergyModel) -> ReducedSites:
+                      energy: EnergyModel, *,
+                      corridor_seed: Optional[Any] = None) -> ReducedSites:
         """Memoized site-reduction pre-pass over the cached base sites.
 
         For a batch column pass the largest-capacity variant as *energy*
         (the same convention as
         :func:`repro.core.batch.plan_algorithm2_batch`).
+        ``corridor_seed`` (a coarser δ-grid's tour points, δ-continuation)
+        warm-starts the corridor stage and joins the cache key.
         """
-        token = self._reduction_token(reduction, energy)
+        token = self._reduction_token(reduction, energy, corridor_seed)
         key = self._site_key(network, radio, delta, token)
         cached = self._sites.get(key)
         if cached is not None:
@@ -147,12 +163,14 @@ class ArtifactCache:
             assert isinstance(cached, ReducedSites)
             return cached
         self._miss()
+        seed = (np.asarray(corridor_seed, dtype=float)
+                if corridor_seed is not None else None)
         # The id() lives only in the cache key; the HoveringSites value
         # reaching reduce_sites (and its span attributes) is
         # deterministic builder output.
         # repro: allow[flow-determinism] -- id() taint is key-only
         built = reduce_sites(self.sites(network, radio, delta), reduction,
-                             energy=energy)
+                             energy=energy, corridor_seed=seed)
         self._sites[key] = built
         self._stored()
         return built
@@ -226,10 +244,16 @@ class ArtifactCache:
         delta = float(kwargs["delta"])
         reduction = resolve_reduction(kwargs.get("site_reduction"))
         augmented = dict(kwargs)
+        # The δ-continuation warm seed is an artifact option, not a
+        # planner kwarg: it steers the reduction built here and is
+        # consumed in the process.
+        corridor_seed = augmented.pop("corridor_seed", None)
         if reduction.enabled:
-            options = self._reduction_token(reduction, energy)
+            options = self._reduction_token(reduction, energy,
+                                            corridor_seed)
             sites: HoveringSites = self.reduced_sites(
-                network, radio, delta, reduction, energy)
+                network, radio, delta, reduction, energy,
+                corridor_seed=corridor_seed)
         else:
             options = ""
             sites = self.sites(network, radio, delta)

@@ -97,6 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
                              "engine='batch' call (Fig. 5's capacity "
                              "sweep; identical results, stacked numpy "
                              "execution)")
+    parser.add_argument("--delta-continuation", action="store_true",
+                        help="fig4 only: add an Algorithm 1 series and "
+                             "chain its δ cells per instance coarse→fine, "
+                             "warm-starting each finer grid's reduction "
+                             "corridor and first GRASP construction from "
+                             "the coarser grid's tour (strict-improvement "
+                             "acceptance; requires the artifact cache)")
+    parser.add_argument("--engine", choices=["scalar", "fast"],
+                        default="scalar",
+                        help="orienteering engine for the Algorithm 1 "
+                             "series (fig3, and the series added by "
+                             "--delta-continuation): 'fast' = vectorized "
+                             "GRASP, bitwise-identical tours)")
     parser.add_argument("--site-reduction",
                         choices=["off", "safe", "aggressive"],
                         default="off",
@@ -129,6 +142,14 @@ def main(argv=None) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    if args.delta_continuation and args.figure != "fig4":
+        print("error: --delta-continuation chains the fig4 δ sweep; "
+              f"got figure {args.figure!r}", file=sys.stderr)
+        return 2
+    if args.delta_continuation and args.no_cache:
+        print("error: --delta-continuation needs the artifact cache; "
+              "drop --no-cache", file=sys.stderr)
+        return 2
     config = _config_from_args(args)
     if args.figure == "report":
         from repro.experiments.report import generate_report
@@ -149,11 +170,16 @@ def main(argv=None) -> int:
               file=sys.stderr)
         reduction = (None if args.site_reduction == "off"
                      else args.site_reduction)
+        extra = {}
+        if args.delta_continuation and fig == "fig4":
+            extra = {"delta_continuation": True, "engine": args.engine}
+        elif fig == "fig3" and args.engine != "scalar":
+            extra = {"engine": args.engine}
         with activated(tracer):
             result = RUNNERS[fig](config, progress=progress,
                                   jobs=args.jobs, cache=not args.no_cache,
                                   batch_columns=args.batch_columns,
-                                  site_reduction=reduction)
+                                  site_reduction=reduction, **extra)
         print(rows_to_markdown(result, title=f"{fig} — {config.label} scale"))
         if args.ascii:
             print(render_sweep(result, panel="volume"))

@@ -25,9 +25,24 @@ from repro.experiments.runner import AlgoSpec, SweepResult, run_sweep
 from repro.network.sensor_network import SensorNetwork
 
 
-def fig4_algorithms(config: ExperimentConfig) -> list:
-    """Algorithm 2, Algorithm 3 per K, and the benchmark."""
-    algos = [AlgoSpec("Algorithm 2", "algorithm2", {})]
+def fig4_algorithms(config: ExperimentConfig, *,
+                    algorithm1: bool = False,
+                    n_restarts: int = 3,
+                    engine: str = "scalar") -> list:
+    """Algorithm 2, Algorithm 3 per K, and the benchmark.
+
+    With ``algorithm1=True`` an Algorithm 1 series (GRASP with
+    *n_restarts* restarts on the given orienteering *engine*) is
+    prepended — the paper's Fig. 4 omits it, but it is the series the
+    δ-continuation mode chains, so the CLI adds it alongside
+    ``--delta-continuation``.
+    """
+    algos = []
+    if algorithm1:
+        algos.append(AlgoSpec("Algorithm 1", "algorithm1",
+                              {"solver": "grasp", "n_restarts": n_restarts,
+                               "seed": 0, "engine": engine}))
+    algos.append(AlgoSpec("Algorithm 2", "algorithm2", {}))
     for k in config.k_values:
         algos.append(AlgoSpec(f"Algorithm 3 (K={k})", "algorithm3", {"K": k}))
     algos.append(AlgoSpec("Benchmark", "benchmark", {}))
@@ -39,7 +54,10 @@ def run_fig4(config: ExperimentConfig,
              *, validate: bool = True, progress=None,
              jobs: int = 1, cache: bool = True,
              batch_columns: bool = False,
-             site_reduction=None) -> SweepResult:
+             site_reduction=None,
+             algorithm1: bool = False,
+             engine: str = "scalar",
+             delta_continuation: bool = False) -> SweepResult:
     """Run the Fig. 4 δ sweep and return the aggregated rows.
 
     ``jobs``/``cache`` select the execution engine and the per-instance
@@ -52,9 +70,15 @@ def run_fig4(config: ExperimentConfig,
     per-cell path).  ``site_reduction`` applies the candidate-site
     reduction pre-pass to every Algorithm 2/3 cell — the dense-δ end of
     this sweep is where it pays the most (see ``DESIGN.md``).
+
+    ``algorithm1`` adds an Algorithm 1 series on the given orienteering
+    *engine* (see :func:`fig4_algorithms`); ``delta_continuation``
+    implies it and chains its δ cells coarse→fine with warm starts
+    (:mod:`repro.experiments.continuation`).
     """
     if instances is None:
         instances = make_instances(config)
+    algorithm1 = algorithm1 or delta_continuation
 
     def make_kwargs(cfg: ExperimentConfig, value: float, spec: AlgoSpec):
         kwargs = dict(spec.kwargs)
@@ -63,7 +87,8 @@ def run_fig4(config: ExperimentConfig,
         return kwargs
 
     return run_sweep(
-        config, instances, fig4_algorithms(config),
+        config, instances,
+        fig4_algorithms(config, algorithm1=algorithm1, engine=engine),
         param_name="delta",
         param_values=config.delta_sweep,
         make_energy=lambda cfg, value: cfg.energy_model(),
@@ -73,7 +98,8 @@ def run_fig4(config: ExperimentConfig,
         jobs=jobs,
         cache=cache,
         batch_columns=batch_columns,
-        site_reduction=site_reduction)
+        site_reduction=site_reduction,
+        delta_continuation=delta_continuation)
 
 
 __all__ = ["run_fig4", "fig4_algorithms"]

@@ -42,11 +42,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.energy.model import EnergyModel
 from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.continuation import chainable_spec
 from repro.experiments.runner import (
     AlgoSpec,
     SweepResult,
     SweepRow,
     _aggregate_samples,
+    _plan_chain_instance,
     _plan_column_instance,
     _run_cell,
     batchable_column,
@@ -199,6 +201,68 @@ def _flush_worker_shard(tracer: Optional[Tracer]) -> None:
         tracer.clear()
 
 
+def _encode_chain_unit(s_idx: int, instance: int, param_name: str,
+                       values: Sequence[float], spec: AlgoSpec,
+                       energies: Sequence[EnergyModel],
+                       kwargs_by_value: Sequence[Dict[str, Any]],
+                       validate: bool) -> str:
+    """One δ-continuation (chain, instance) pair as a JSON work unit.
+
+    ``chainable_spec`` already vetted every cell's kwargs as JSON data.
+    The payload mirrors the column units — the parent merges both
+    through the same per-value sample buckets.
+    """
+    return json.dumps({
+        "chain": s_idx,
+        "instance": instance,
+        "param_name": param_name,
+        "values": [float(v) for v in values],
+        "algorithm": spec.name,
+        "method": spec.method,
+        "kwargs_by_value": list(kwargs_by_value),
+        "energies": [_energy_fields(e) for e in energies],
+        "validate": validate,
+    })
+
+
+def _plan_chain(unit_json: str) -> str:
+    """Worker entry: plan one δ-continuation chain, return its samples.
+
+    The whole chain runs inside one worker — the warm payloads never
+    cross a process boundary mid-chain — through the same
+    :func:`~repro.experiments.runner._plan_chain_instance` the
+    sequential runner calls, so the samples are bitwise-identical to
+    the ``jobs=1`` chain.
+    """
+    unit = json.loads(unit_json)
+    spec = AlgoSpec(unit["algorithm"], unit["method"], {})
+    energies = [EnergyModel(**fields) for fields in unit["energies"]]
+    net = _WORKER["instances"][unit["instance"]]
+    cache: Optional[ArtifactCache] = _WORKER["cache"]
+    tracer: Optional[Tracer] = _WORKER["tracer"]
+    registry = (MetricsRegistry() if _WORKER.get("collect_metrics")
+                else None)
+    assert cache is not None   # run_sweep refuses continuation without it
+    with activated(tracer), metrics_scope(registry):
+        with span("runner.chain", chain=unit["chain"],
+                  instance=unit["instance"], param=unit["param_name"],
+                  algorithm=spec.name, width=len(energies),
+                  worker=os.getpid()):
+            samples = _plan_chain_instance(
+                net, spec, unit["values"], energies, _WORKER["radio"],
+                kwargs_by_value=unit["kwargs_by_value"],
+                validate=unit["validate"], cache=cache)
+    _flush_worker_shard(tracer)
+    return json.dumps({
+        "column": unit["chain"],
+        "instance": unit["instance"],
+        "worker": os.getpid(),
+        "metrics": registry.snapshot() if registry is not None else None,
+        "samples": samples,
+        "cache": cache.stats(),
+    })
+
+
 def _plan_column(unit_json: str) -> str:
     """Worker entry: plan one (column, instance) unit, return its samples.
 
@@ -250,6 +314,7 @@ def run_sweep_parallel(
         jobs: int = 2,
         cache: bool = True,
         batch_columns: bool = False,
+        delta_continuation: bool = False,
         shard_dir: Optional[str] = None) -> SweepResult:
     """Run one sweep on a process pool; same contract as ``run_sweep``.
 
@@ -258,32 +323,48 @@ def run_sweep_parallel(
     (column, instance) unit per instance — the whole value column plans
     as one stacked batch call inside the worker, and the parent
     aggregates the returned samples per cell in instance order (batch
-    within a worker, processes across instances).  ``shard_dir`` names a
-    directory to keep the per-worker trace shards in (default: a
-    temporary directory deleted after the merge).
+    within a worker, processes across instances).  With
+    ``delta_continuation=True`` each chainable Algorithm 1 spec ships
+    one (chain, instance) unit per instance instead: the worker plans
+    that instance's whole δ column coarse→fine with warm starts (see
+    :mod:`repro.experiments.continuation`), so the chain's warm payloads
+    never cross a process boundary and the samples match the sequential
+    chains bitwise.  ``shard_dir`` names a directory to keep the
+    per-worker trace shards in (default: a temporary directory deleted
+    after the merge).
     """
     if jobs < 2:
         raise ValueError(
             f"run_sweep_parallel needs jobs >= 2, got {jobs} "
             f"(use run_sweep for the in-process path)")
+    if delta_continuation and not cache:
+        raise ValueError(
+            "delta_continuation needs the artifact cache (cache=True): "
+            "warm payloads for the finer grids flow through it")
 
     cells = sweep_cells(algorithms, param_values)
     if not cells:
         return SweepResult(config=config, rows=[], meta={"jobs": jobs})
     n_specs = len(algorithms)
+    chain_specs = [
+        s_idx for s_idx, spec in enumerate(algorithms)
+        if delta_continuation and chainable_spec(config, spec, param_values,
+                                                 make_kwargs)]
     column_specs = [
         s_idx for s_idx, spec in enumerate(algorithms)
-        if batch_columns and batchable_column(config, spec, param_values,
-                                              make_energy, make_kwargs)]
+        if s_idx not in chain_specs
+        and batch_columns and batchable_column(config, spec, param_values,
+                                               make_energy, make_kwargs)]
     column_energies = {
         s_idx: [make_energy(config, v) for v in param_values]
-        for s_idx in column_specs}
+        for s_idx in column_specs + chain_specs}
     cell_units = [
         _encode_unit(index, param_name, value, spec,
                      make_energy(config, value),
                      make_kwargs(config, value, spec), validate)
         for index, value, spec in cells
         if index % n_specs not in column_specs
+        and index % n_specs not in chain_specs
     ]
     column_units = [
         _encode_column_unit(s_idx, instance, param_name, param_values,
@@ -291,6 +372,14 @@ def run_sweep_parallel(
                             make_kwargs(config, param_values[0],
                                         algorithms[s_idx]), validate)
         for s_idx in column_specs
+        for instance in range(len(instances))
+    ]
+    chain_units = [
+        _encode_chain_unit(s_idx, instance, param_name, param_values,
+                           algorithms[s_idx], column_energies[s_idx],
+                           [make_kwargs(config, v, algorithms[s_idx])
+                            for v in param_values], validate)
+        for s_idx in chain_specs
         for instance in range(len(instances))
     ]
 
@@ -308,11 +397,11 @@ def run_sweep_parallel(
         results: Dict[int, SweepRow] = {}
         worker_cache_stats: Dict[int, Dict[str, int]] = {}
         column_samples: Dict[int, Dict[int, list]] = {
-            s_idx: {} for s_idx in column_specs}
+            s_idx: {} for s_idx in column_specs + chain_specs}
         next_to_report = 0
-        n_units = len(cell_units) + len(column_units)
+        n_units = (len(cell_units) + len(column_units) + len(chain_units))
         with span("parallel.sweep", cells=len(cells), jobs=jobs,
-                  columns=len(column_specs)):
+                  columns=len(column_specs), chains=len(chain_specs)):
             with ProcessPoolExecutor(
                     max_workers=min(jobs, n_units),
                     initializer=_init_worker,
@@ -327,6 +416,8 @@ def run_sweep_parallel(
                            for unit in cell_units]
                 futures += [pool.submit(_plan_column, unit)
                             for unit in column_units]
+                futures += [pool.submit(_plan_chain, unit)
+                            for unit in chain_units]
                 for future in as_completed(futures):
                     payload = json.loads(future.result())
                     if "cell" in payload:
@@ -372,7 +463,9 @@ def run_sweep_parallel(
         rows = [results[index] for index in range(len(cells))]
         meta: Dict[str, Any] = {"jobs": jobs,
                                 "batch_columns":
-                                    len(column_specs) * len(param_values)}
+                                    len(column_specs) * len(param_values),
+                                "continuation_chains":
+                                    len(chain_specs) * len(instances)}
         if cache:
             meta["cache"] = {
                 "hits": sum(s["hits"] for s in worker_cache_stats.values()),

@@ -29,6 +29,12 @@ per-cell ``mean_time_s`` becomes the column wall-clock divided by the
 column width.  Ineligible specs (the benchmark, swept-δ kwargs,
 non-insertion TSP modes) silently keep the per-cell path.
 
+``delta_continuation=True`` (δ sweeps only) chains each Algorithm 1
+spec's cells per instance in descending δ order, warm-starting every
+finer grid's reduction corridor and first GRASP construction from the
+coarser grid's finished tour (:mod:`repro.experiments.continuation`);
+warm tours are accepted only on strict improvement.
+
 Both paths also share the per-process
 :class:`~repro.experiments.artifacts.ArtifactCache` (``cache=True``,
 default): δ-grid sites, conflict lists, and auxiliary graphs are built
@@ -53,6 +59,10 @@ from repro.core.reduce import resolve_reduction
 from repro.energy.model import EnergyModel
 from repro.experiments.artifacts import (CACHEABLE_METHODS, ArtifactCache,
                                          resolve_cache)
+from repro.experiments.continuation import (chainable_spec,
+                                            continuation_order,
+                                            project_warm_nodes,
+                                            tour_seed_points)
 from repro.experiments.config import ExperimentConfig
 from repro.network.sensor_network import SensorNetwork
 from repro.obs.ledger import get_ledger, record_event
@@ -314,7 +324,8 @@ def run_sweep(config: ExperimentConfig,
               jobs: int = 1,
               cache: Any = True,
               batch_columns: bool = False,
-              site_reduction: Any = None) -> SweepResult:
+              site_reduction: Any = None,
+              delta_continuation: bool = False) -> SweepResult:
     """Run a full sweep and aggregate per-cell statistics.
 
     Parameters
@@ -372,9 +383,28 @@ def run_sweep(config: ExperimentConfig,
         ``site_reduction`` are left alone.  Capacity-dependent stages
         bound a batch column by its largest capacity (see
         :mod:`repro.core.batch`).
+    delta_continuation:
+        Plan each Algorithm 1 spec's δ column per instance in descending
+        δ order (coarse grids first), warm-starting every finer cell's
+        reduction corridor and first GRASP construction from the coarser
+        cell's finished tour (:mod:`repro.experiments.continuation`).
+        Requires a δ sweep (``param_name == "delta"``) and the artifact
+        cache (the warm payloads flow through it); warm tours are kept
+        only on strict improvement, so with the reduction off or
+        ``safe`` a continuation cell never collects less than its
+        cold-start value.  Other specs keep the per-cell path.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if delta_continuation:
+        if param_name != "delta":
+            raise ValueError(
+                f"delta_continuation chains along the swept δ axis; this "
+                f"sweep's param_name is {param_name!r}")
+        if not cache:
+            raise ValueError(
+                "delta_continuation needs the artifact cache (cache=True): "
+                "warm payloads for the finer grids flow through it")
     reduction = resolve_reduction(site_reduction)
     if reduction.enabled:
         make_kwargs = _with_site_reduction(make_kwargs,
@@ -385,24 +415,52 @@ def run_sweep(config: ExperimentConfig,
             config, instances, algorithms, param_name, param_values,
             make_energy=make_energy, make_kwargs=make_kwargs,
             validate=validate, progress=progress, trace=trace, jobs=jobs,
-            cache=bool(cache), batch_columns=batch_columns)
+            cache=bool(cache), batch_columns=batch_columns,
+            delta_continuation=delta_continuation)
 
     radio = config.radio_model()
     artifact_cache = resolve_cache(cache)
     cells = sweep_cells(algorithms, param_values)
     rows: List[SweepRow] = []
     column_rows: Dict[int, SweepRow] = {}
+    batch_specs: List[int] = []
+    chain_specs: List[int] = []
     n_specs = len(algorithms)
     with activated(trace):
-        if batch_columns:
+        if delta_continuation:
             for s_idx, spec in enumerate(algorithms):
-                if not batchable_column(config, spec, param_values,
-                                        make_energy, make_kwargs):
+                if not chainable_spec(config, spec, param_values,
+                                      make_kwargs):
                     continue
+                chain_specs.append(s_idx)
                 energies = [make_energy(config, v) for v in param_values]
-                kwargs = make_kwargs(config, param_values[0], spec)
+                kwargs_by_value = [make_kwargs(config, v, spec)
+                                   for v in param_values]
                 samples_by_value: List[List[Sample]] = \
                     [[] for _ in param_values]
+                with span("runner.chain", algorithm=spec.name,
+                          param=param_name, width=len(param_values)):
+                    for net in instances:
+                        samples = _plan_chain_instance(
+                            net, spec, param_values, energies, radio,
+                            kwargs_by_value=kwargs_by_value,
+                            validate=validate, cache=artifact_cache)
+                        for v_idx, sample in enumerate(samples):
+                            samples_by_value[v_idx].append(sample)
+                for v_idx, value in enumerate(param_values):
+                    column_rows[v_idx * n_specs + s_idx] = \
+                        _aggregate_samples(param_name, value, spec,
+                                           samples_by_value[v_idx])
+        if batch_columns:
+            for s_idx, spec in enumerate(algorithms):
+                if s_idx in chain_specs or not batchable_column(
+                        config, spec, param_values, make_energy,
+                        make_kwargs):
+                    continue
+                batch_specs.append(s_idx)
+                energies = [make_energy(config, v) for v in param_values]
+                kwargs = make_kwargs(config, param_values[0], spec)
+                samples_by_value = [[] for _ in param_values]
                 with span("runner.column", algorithm=spec.name,
                           param=param_name, width=len(param_values)):
                     for net in instances:
@@ -433,8 +491,11 @@ def run_sweep(config: ExperimentConfig,
                                          value, row))
         _emit_sweep_records(
             config, algorithms, param_name, param_values, rows, jobs=1,
-            column_specs=sorted({i % n_specs for i in column_rows}))
-    meta: Dict[str, Any] = {"jobs": 1, "batch_columns": len(column_rows)}
+            column_specs=batch_specs)
+    meta: Dict[str, Any] = {
+        "jobs": 1,
+        "batch_columns": len(batch_specs) * len(param_values),
+        "continuation_chains": len(chain_specs) * len(instances)}
     if artifact_cache is not None:
         meta["cache"] = artifact_cache.stats()
     return SweepResult(config=config, rows=rows, meta=meta)
@@ -632,6 +693,52 @@ def _plan_column_instance(net: SensorNetwork,
     return samples
 
 
+def _plan_chain_instance(net: SensorNetwork,
+                         spec: AlgoSpec,
+                         param_values: Sequence[float],
+                         energies: Sequence[EnergyModel],
+                         radio: Any,
+                         *,
+                         kwargs_by_value: Sequence[Dict[str, Any]],
+                         validate: bool,
+                         cache: ArtifactCache) -> List[Sample]:
+    """Plan one instance's δ column coarse→fine with warm continuation.
+
+    Cells run in descending δ order; each finer cell's kwargs gain the
+    coarser cell's ``corridor_seed`` (consumed by the artifact cache's
+    reduction pre-pass) and ``warm_nodes`` (the projected warm-start
+    hint for Algorithm 1).  Returns one sample per parameter value, in
+    *value* order; the timer wraps each cell's planning call exactly
+    like the per-cell path, so ``mean_time_s`` keeps its semantics.
+
+    Both execution engines share this function verbatim — sequential
+    chains run it inline, parallel chains inside a worker — which is
+    what keeps continuation rows bitwise-identical across ``jobs``.
+    """
+    samples: List[Optional[Sample]] = [None] * len(param_values)
+    seed_points: Optional[List[List[float]]] = None
+    for i in continuation_order(param_values):
+        kwargs = dict(kwargs_by_value[i])
+        if seed_points:
+            kwargs["corridor_seed"] = seed_points
+        call_kwargs = cache.augment_kwargs(net, energies[i], radio,
+                                           spec.method, kwargs)
+        if seed_points:
+            warm = project_warm_nodes(seed_points, call_kwargs["sites"])
+            if warm is not None:
+                call_kwargs["warm_nodes"] = warm
+        with Timer() as t:
+            tour = plan_tour(net, energies[i], radio,
+                             method=spec.method, **call_kwargs)
+        if validate:
+            cross_validate(tour, radio)
+        _fold_perf_ambient(tour.meta.get("perf"))
+        samples[i] = (tour.collected_volume / MB_PER_GB, t.elapsed,
+                      tour.meta.get("perf"))
+        seed_points = tour_seed_points(tour) or seed_points
+    return [s for s in samples if s is not None]
+
+
 def _population_std(values: Sequence[float]) -> float:
     """Population standard deviation (``np.std`` with ``ddof=0``).
 
@@ -652,4 +759,4 @@ __all__ = ["AlgoSpec", "SweepRow", "SweepResult", "run_sweep", "MB_PER_GB",
            "_flatten_perf", "_fold_perf_ambient",
            "_emit_sweep_records", "_run_cell", "_instance_sample",
            "_aggregate_samples", "_plan_column_instance",
-           "_population_std"]
+           "_plan_chain_instance", "_population_std"]

@@ -31,17 +31,23 @@ def pairwise_distances(points) -> np.ndarray:
     """Full symmetric ``(n, n)`` distance matrix for ``(n, 2)`` *points*.
 
     The result is exactly symmetric with a zero diagonal; the computation
-    uses broadcasting (one temporary of shape ``(n, n, 2)``) which is the
-    fastest pure-numpy formulation for the n ≤ a-few-thousand sizes this
-    library works at.
+    broadcasts each coordinate separately and accumulates in place —
+    ``sqrt(dx*dx + dy*dy)`` is bitwise-identical to the einsum-over-
+    ``(n, n, 2)`` formulation it replaces (same two products summed in
+    the same order) at a third of the memory traffic, which is what the
+    paper-scale auxiliary-graph build is bound by.  No symmetrization
+    pass is needed: IEEE-754 subtraction is exactly sign-symmetric
+    (``fl(a-b) == -fl(b-a)``), so ``dx*dx``, ``dy*dy``, their sum, and
+    the square root are already bitwise symmetric, and the diagonal is
+    an exact ``0.0`` (``fl(a-a) == 0``).
     """
     pts = check_points_array(points, "points")
-    diff = pts[:, None, :] - pts[None, :, :]
-    d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-    # Enforce exact symmetry/zero diagonal despite floating-point rounding.
-    d = 0.5 * (d + d.T)
-    np.fill_diagonal(d, 0.0)
-    return d
+    dx = pts[:, 0, None] - pts[None, :, 0]
+    dy = pts[:, 1, None] - pts[None, :, 1]
+    dx *= dx
+    dy *= dy
+    dx += dy
+    return np.sqrt(dx, out=dx)
 
 
 def cross_distances(a, b) -> np.ndarray:
@@ -52,8 +58,12 @@ def cross_distances(a, b) -> np.ndarray:
     """
     pa = check_points_array(a, "a")
     pb = check_points_array(b, "b")
-    diff = pa[:, None, :] - pb[None, :, :]
-    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    dx = pa[:, 0, None] - pb[None, :, 0]
+    dy = pa[:, 1, None] - pb[None, :, 1]
+    dx *= dx
+    dy *= dy
+    dx += dy
+    return np.sqrt(dx, out=dx)
 
 
 def path_length(points) -> float:

@@ -234,6 +234,10 @@ register_case(BenchCase(
     config={**_PLAN_CONFIG, "method": "algorithm1"},
     fn=lambda: _plan_workload("algorithm1")))
 register_case(BenchCase(
+    name="plan.alg1_fast", suites=("smoke",),
+    config={**_PLAN_CONFIG, "method": "algorithm1", "engine": "fast"},
+    fn=lambda: _plan_workload("algorithm1", engine="fast")))
+register_case(BenchCase(
     name="plan.alg2_kernel", suites=("smoke",),
     config={**_PLAN_CONFIG, "method": "algorithm2", "engine": "kernel"},
     fn=lambda: _plan_workload("algorithm2", engine="kernel")))

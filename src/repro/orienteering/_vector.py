@@ -4,7 +4,18 @@ All heavy per-candidate work — insertion deltas, ratio scoring, conflict
 masking — is expressed as numpy operations over the instance's cost
 matrix, so the greedy constructor and the local-search passes cost
 O(n * |tour|) numpy work per step instead of O(n * |tour|) Python loops.
+
+Randomised (GRASP) construction consumes a pre-drawn **RNG tape**: one
+uniform ``[0, 1)`` draw per accepted insertion, mapped onto a
+*sorted* restricted candidate list by :func:`rcl_pick`.  Because the
+tape is drawn up front and the RCL is ordered by node index, the scalar
+restart loop (:func:`greedy_fill` once per restart) and the stacked
+fast engine (:mod:`repro.orienteering.fast`, all restarts at once) make
+bitwise-identical choices from the same tape row — and the choices are
+invariant under site renumbering that preserves relative index order
+(the `ReducedSites` survivor maps do).
 """
+# repro: hot-path
 
 from __future__ import annotations
 
@@ -15,13 +26,20 @@ import numpy as np
 from repro.orienteering.problem import OrienteeringInstance
 
 
-def all_insertion_deltas(tour: np.ndarray,
-                         costs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def all_insertion_deltas(tour: np.ndarray, costs: np.ndarray,
+                         costs_t: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
     """Cheapest insertion delta of *every* node into the closed *tour*.
 
     Returns ``(deltas, positions)`` of length ``n`` each; ``positions[v]``
     is the tour index before which node ``v`` would be inserted.  Entries
     for nodes already on the tour are meaningless (callers mask them).
+
+    *costs_t* (``instance.costs_t``) routes the gathers over contiguous
+    rows of the transposed matrix instead of strided columns of *costs*
+    — the same elements bit-for-bit, several times faster at paper
+    scale.  Both layouts accumulate in place on the first fancy-index
+    copy and tie-break ``argmin`` at the first minimal tour position.
     """
     n = len(costs)
     k = len(tour)
@@ -31,10 +49,20 @@ def all_insertion_deltas(tour: np.ndarray,
         return 2.0 * costs[tour[0]], np.ones(n, dtype=int)
     nxt = np.roll(tour, -1)
     edge = costs[tour, nxt]                        # (k,)
-    # cand[v, i] = c(tour_i, v) + c(v, tour_{i+1}) - c(tour_i, tour_{i+1})
-    cand = costs[:, tour] + costs[:, nxt] - edge[None, :]
-    best = np.argmin(cand, axis=1)
-    deltas = cand[np.arange(n), best]
+    if costs_t is not None:
+        # cand[i, v] = c(tour_i, v) + c(v, tour_{i+1}) - edge_i
+        cand = costs_t[tour]
+        cand += costs_t[nxt]
+        cand -= edge[:, None]
+        best = np.argmin(cand, axis=0)
+        deltas = cand[best, np.arange(n)]
+    else:
+        # cand[v, i] = c(tour_i, v) + c(v, tour_{i+1}) - edge_i
+        cand = costs[:, tour]
+        cand += costs[:, nxt]
+        cand -= edge[None, :]
+        best = np.argmin(cand, axis=1)
+        deltas = cand[np.arange(n), best]
     positions = (best + 1) % k
     positions[positions == 0] = k
     return deltas, positions
@@ -43,15 +71,64 @@ def all_insertion_deltas(tour: np.ndarray,
 def conflict_neighbors(instance: OrienteeringInstance) -> Optional[List[np.ndarray]]:
     """Per-node arrays of conflicting nodes, or None when unconstrained.
 
-    The instance precomputes these at construction, so this is O(1).
+    The instance precomputes these at construction, so this is O(1) —
+    the canonical list itself, not a copy (treat it as read-only).
     """
     if not instance.has_conflicts:
         return None
-    return [instance.neighbors_of(v) for v in range(instance.n_nodes)]
+    return instance.conflict_lists
+
+
+def insertion_ratio(deltas: np.ndarray, awards: np.ndarray,
+                    feasible: np.ndarray) -> np.ndarray:
+    """Award-per-marginal-cost score; ``-inf`` off the feasible set.
+
+    Zero-delta feasible insertions score ``+inf`` (free award).  Shared
+    by the scalar constructor and the stacked fast engine so both paths
+    rank candidates through the identical float expression.
+    """
+    with np.errstate(divide="ignore"):
+        return np.where(
+            feasible,
+            np.where(deltas > 0, awards / np.maximum(deltas, 1e-300), np.inf),
+            -np.inf)
+
+
+def rcl_pick(ratio: np.ndarray, n_feasible: int, u: float,
+             rcl_size: int) -> int:
+    """The tape draw *u*'s pick from the sorted restricted candidate list.
+
+    The RCL is the ``min(rcl_size, n_feasible)`` best-ratio candidates,
+    ordered by **node index** — an order-isomorphism under any
+    renumbering that preserves relative index order, which is what makes
+    reduction-seeded restarts renumbering-invariant.  ``u`` in ``[0, 1)``
+    indexes the list uniformly; the same ``(ratio, u)`` pair yields the
+    same node on the scalar and stacked paths.
+    """
+    k = rcl_size if rcl_size < n_feasible else n_feasible
+    top = np.sort(np.argpartition(-ratio, k - 1)[:k])
+    i = int(u * k)
+    return int(top[i if i < k else k - 1])
+
+
+def draw_rng_tape(rng: np.random.Generator, n_restarts: int,
+                  tape_nodes: int) -> np.ndarray:
+    """Pre-draw the GRASP RNG tape: one row per *randomised* restart.
+
+    Row ``r`` feeds restart ``r + 1`` (restart 0 is deterministic); each
+    accepted insertion consumes one entry, and a tour of ``tape_nodes``
+    nodes can accept at most ``tape_nodes - 1``.  Drawing against the
+    *original* (pre-reduction) node count keeps the tape — hence every
+    restart — identical whether or not a site reduction ran first.
+    """
+    length = max(int(tape_nodes) - 1, 1)
+    rows = max(int(n_restarts) - 1, 0)
+    return rng.random((rows, length))
 
 
 def greedy_fill(instance: OrienteeringInstance, tour: np.ndarray, *,
                 rng: Optional[np.random.Generator] = None,
+                tape: Optional[np.ndarray] = None,
                 rcl_size: int = 1,
                 blocked: Optional[np.ndarray] = None) -> np.ndarray:
     """Insert feasible nodes by best award/delta ratio until none fits.
@@ -62,9 +139,12 @@ def greedy_fill(instance: OrienteeringInstance, tour: np.ndarray, *,
         The orienteering instance.
     tour:
         Starting tour (depot-first); not modified.
-    rng, rcl_size:
-        When *rng* is given, each step picks uniformly among the top
-        ``rcl_size`` candidates instead of the single best (GRASP).
+    rng, tape, rcl_size:
+        With ``rcl_size > 1``, each step picks from the sorted top-
+        ``rcl_size`` candidates (GRASP) driven by one tape entry per
+        insertion.  Pass *tape* directly (a 1-D ``[0, 1)`` array, e.g.
+        one row of :func:`draw_rng_tape`) for replayable construction,
+        or *rng* to draw a tape internally.
     blocked:
         Optional starting block-mask (nodes never to insert); conflict
         blocking is applied on top.
@@ -76,9 +156,15 @@ def greedy_fill(instance: OrienteeringInstance, tour: np.ndarray, *,
     """
     n = instance.n_nodes
     costs = instance.costs
+    costs_t = instance.costs_t
     budget = instance.budget
     awards = instance.awards
     neigh = conflict_neighbors(instance)
+
+    if tape is None and rng is not None and rcl_size > 1:
+        tape = rng.random(max(n - 1, 1))
+    randomized = tape is not None and rcl_size > 1
+    drawn = 0
 
     cur = np.asarray(tour, dtype=int).copy()
     cost = instance.tour_cost(cur)
@@ -96,29 +182,39 @@ def greedy_fill(instance: OrienteeringInstance, tour: np.ndarray, *,
     while True:
         if unavailable.all():
             break
-        deltas, positions = all_insertion_deltas(cur, costs)
+        deltas, positions = all_insertion_deltas(cur, costs, costs_t)
         feasible = ~unavailable & (cost + deltas <= budget + 1e-9)
         if not feasible.any():
             break
-        with np.errstate(divide="ignore"):
-            ratio = np.where(feasible,
-                             np.where(deltas > 0, awards / np.maximum(deltas, 1e-300),
-                                      np.inf),
-                             -np.inf)
-        if rng is None or rcl_size <= 1:
+        ratio = insertion_ratio(deltas, awards, feasible)
+        if not randomized:
             v = int(np.argmax(ratio))
         else:
-            k = min(rcl_size, int(feasible.sum()))
-            top = np.argpartition(-ratio, k - 1)[:k]
-            top = top[np.isfinite(ratio[top]) | (ratio[top] == np.inf)]
-            v = int(top[int(rng.integers(0, len(top)))]) if len(top) else int(np.argmax(ratio))
+            v = rcl_pick(ratio, int(feasible.sum()),
+                         float(tape[drawn]), rcl_size)
+            drawn += 1
         pos = int(positions[v])
+        # repro: allow[hot-path-purity] -- one O(k) copy per accepted insertion
         cur = np.insert(cur, pos if pos != 0 else len(cur), v)
         cost += float(deltas[v])
         unavailable[v] = True
         if neigh is not None and len(neigh[v]):
             unavailable[neigh[v]] = True
     return cur
+
+
+def tour_conflict_counts(tour: np.ndarray, neigh: List[np.ndarray],
+                         n: int) -> np.ndarray:
+    """``counts[v]`` = how many tour nodes conflict with node ``v``.
+
+    Conflict lists are symmetric, so this equals ``|neigh[v] ∩ tour|``;
+    one bincount over the concatenated tour-node neighbour lists replaces
+    the per-candidate Python set probes the swap pass used to run.
+    """
+    stacked = [neigh[int(w)] for w in tour if len(neigh[int(w)])]
+    if not stacked:
+        return np.zeros(n, dtype=np.int64)
+    return np.bincount(np.concatenate(stacked), minlength=n)
 
 
 def swap_pass(instance: OrienteeringInstance, tour: np.ndarray) -> np.ndarray:
@@ -131,12 +227,14 @@ def swap_pass(instance: OrienteeringInstance, tour: np.ndarray) -> np.ndarray:
     """
     n = instance.n_nodes
     costs = instance.costs
+    costs_t = instance.costs_t
     k = len(tour)
     if k < 2:
         return tour
     cost = instance.tour_cost(tour)
     awards = instance.awards
     neigh = conflict_neighbors(instance)
+    counts = tour_conflict_counts(tour, neigh, n) if neigh is not None else None
 
     off = np.ones(n, dtype=bool)
     off[tour] = False
@@ -147,15 +245,20 @@ def swap_pass(instance: OrienteeringInstance, tour: np.ndarray) -> np.ndarray:
         prev_node = int(tour[i - 1])
         next_node = int(tour[(i + 1) % k])
         base = costs[prev_node, u] + costs[u, next_node]
-        new_cost_v = cost - base + costs[prev_node, :] + costs[:, next_node]
+        # costs_t[next_node] is costs[:, next_node] element-for-element
+        # (contiguous row instead of a strided column).
+        new_cost_v = cost - base + costs[prev_node, :] + costs_t[next_node]
         gain_v = awards - awards[u]
         ok = off & (gain_v > 1e-12) & (new_cost_v <= instance.budget + 1e-9)
-        if neigh is not None and ok.any():
-            # A replacement must not conflict with the rest of the tour.
-            rest = set(int(x) for x in tour) - {u}
-            for v in np.flatnonzero(ok):
-                if any(int(c) in rest for c in neigh[int(v)]):
-                    ok[v] = False
+        if counts is not None and ok.any():
+            # A replacement must not conflict with the rest of the tour:
+            # counts[v] > 0 bans v, except a lone conflict with u itself
+            # (the node leaving the tour) does not count.
+            bad = counts > 0
+            nb_u = neigh[u]
+            if len(nb_u):
+                bad[nb_u] = counts[nb_u] > 1
+            ok &= ~bad
         if not ok.any():
             continue
         cand = np.where(ok, gain_v, -np.inf)
@@ -196,5 +299,6 @@ def drop_worst(instance: OrienteeringInstance,
     return np.delete(tour, i), int(tour[i])
 
 
-__all__ = ["all_insertion_deltas", "conflict_neighbors", "greedy_fill",
-           "swap_pass", "drop_worst"]
+__all__ = ["all_insertion_deltas", "conflict_neighbors", "insertion_ratio",
+           "rcl_pick", "draw_rng_tape", "greedy_fill",
+           "tour_conflict_counts", "swap_pass", "drop_worst"]

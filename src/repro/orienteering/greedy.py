@@ -9,6 +9,8 @@ wrapper randomises.  The per-step work is fully vectorised
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.orienteering._vector import greedy_fill
@@ -25,9 +27,18 @@ def solve_greedy(instance: OrienteeringInstance) -> OrienteeringSolution:
 
 def randomized_construct(instance: OrienteeringInstance,
                          seed: SeedLike = None,
-                         rcl_size: int = 3) -> np.ndarray:
-    """One randomised greedy construction (used by GRASP)."""
+                         rcl_size: int = 3, *,
+                         tape: Optional[np.ndarray] = None) -> np.ndarray:
+    """One randomised greedy construction (used by GRASP).
+
+    Pass *tape* (one row of :func:`repro.orienteering._vector.draw_rng_tape`)
+    for a replayable construction; otherwise a tape is drawn from *seed*.
+    """
     start = np.array([instance.depot], dtype=int)
+    if tape is not None:
+        return greedy_fill(instance, start,
+                           tape=np.asarray(tape, dtype=float),
+                           rcl_size=rcl_size)
     return greedy_fill(instance, start, rng=as_rng(seed), rcl_size=rcl_size)
 
 

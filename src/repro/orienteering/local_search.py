@@ -58,6 +58,7 @@ def improve_solution(instance: OrienteeringInstance,
         Safety bound on improvement rounds.
     """
     cur = np.asarray(tour, dtype=int)
+    rounds = moves = 0
     for _ in range(max_rounds):
         before_award = instance.tour_award(cur)
         before_cost = instance.tour_cost(cur)
@@ -67,10 +68,13 @@ def improve_solution(instance: OrienteeringInstance,
         cur = _drop_readd(instance, cur)
         after_award = instance.tour_award(cur)
         after_cost = instance.tour_cost(cur)
+        rounds += 1
         if (after_award <= before_award + 1e-12
                 and after_cost >= before_cost - 1e-9):
             break
-    return make_solution(instance, cur, "local-search")
+        moves += 1
+    return make_solution(instance, cur, "local-search",
+                         stats={"rounds": rounds, "moves": moves})
 
 
 __all__ = ["improve_solution"]

@@ -13,14 +13,30 @@ and by the partial-collection reduction tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.tsp.length import tour_length_matrix, validate_tour
 from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import check_non_negative
+
+
+def transpose_copy(matrix: np.ndarray, block: int = 512) -> np.ndarray:
+    """C-contiguous transpose copy, tiled to stay cache/TLB-friendly.
+
+    ``matrix.T.copy()`` walks one operand with a full-row stride, which
+    on paper-scale cost matrices (hundreds of MB) turns every element
+    into a cache+TLB miss; tiling keeps both operands inside a few pages
+    per block.  The result is element-for-element identical either way.
+    """
+    n, m = matrix.shape
+    out = np.empty((m, n), dtype=matrix.dtype)
+    for i in range(0, n, block):
+        for j in range(0, m, block):
+            out[j:j + block, i:i + block] = matrix[i:i + block, j:j + block].T
+    return out
 
 
 @dataclass
@@ -126,6 +142,44 @@ class OrienteeringInstance:
         """Number of nodes including the depot."""
         return self.costs.shape[0]
 
+    @property
+    def costs_t(self) -> np.ndarray:
+        """C-contiguous transpose of ``costs``, built lazily and cached.
+
+        ``costs_t[i, j]`` *is* ``costs[j, i]`` — a pure relabeling, no
+        arithmetic — so kernels may replace a strided column gather
+        ``costs[:, idx]`` with the contiguous row gather ``costs_t[idx]``
+        without changing a single output bit, whether or not the matrix
+        is exactly symmetric.
+        """
+        ct = getattr(self, "_costs_t", None)
+        if ct is None:
+            ct = transpose_copy(self.costs)
+            self._costs_t = ct
+        return ct
+
+    def attach_costs_t(self, costs_t: np.ndarray) -> None:
+        """Install a precomputed transpose for :attr:`costs_t`.
+
+        Lets builders that already hold a cached transpose of the same
+        cost matrix (e.g. the auxiliary graph shared across a capacity
+        sweep's cells) share it instead of re-transposing per instance.
+        """
+        if costs_t.shape != self.costs.shape:
+            raise InvalidParameterError(
+                f"costs_t shape {costs_t.shape} does not match costs "
+                f"shape {self.costs.shape}")
+        self._costs_t = costs_t
+
+    @property
+    def conflict_lists(self) -> Optional[List[np.ndarray]]:
+        """Per-node conflict neighbor arrays, or None when unconstrained.
+
+        The canonical arrays built at construction — shared, not copied;
+        callers must treat them as read-only.
+        """
+        return self._neighbors
+
     def tour_cost(self, tour) -> float:
         """Total edge cost of the closed *tour*."""
         return tour_length_matrix(np.asarray(tour, dtype=int), self.costs)
@@ -179,12 +233,19 @@ class OrienteeringInstance:
 
 @dataclass(frozen=True)
 class OrienteeringSolution:
-    """A solver's output: the tour, its award, cost, and provenance tag."""
+    """A solver's output: the tour, its award, cost, and provenance tag.
+
+    ``stats`` carries optional solver-side work counters (GRASP restart
+    accounting, local-search rounds); it never participates in equality
+    so two solutions with the same tour/award/cost still compare equal.
+    """
 
     tour: np.ndarray
     award: float
     cost: float
     method: str = ""
+    stats: Optional[Dict[str, int]] = field(default=None, compare=False,
+                                            repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tour", np.asarray(self.tour, dtype=int))
@@ -195,14 +256,46 @@ class OrienteeringSolution:
         return len(self.tour)
 
 
-def make_solution(instance: OrienteeringInstance, tour,
-                  method: str) -> OrienteeringSolution:
+def make_solution(instance: OrienteeringInstance, tour, method: str,
+                  stats: Optional[Dict[str, int]] = None
+                  ) -> OrienteeringSolution:
     """Build a solution record with award/cost computed from *instance*."""
     arr = np.asarray(tour, dtype=int)
     return OrienteeringSolution(tour=arr,
                                 award=instance.tour_award(arr),
                                 cost=instance.tour_cost(arr),
-                                method=method)
+                                method=method, stats=stats)
 
 
-__all__ = ["OrienteeringInstance", "OrienteeringSolution", "make_solution"]
+def trusted_instance(costs: np.ndarray, awards: np.ndarray, budget: float, *,
+                     depot: int = 0,
+                     conflict_neighbor_lists: Optional[List[np.ndarray]] = None
+                     ) -> OrienteeringInstance:
+    """Build an instance *without* the O(n²) validation pass.
+
+    :class:`OrienteeringInstance.__post_init__` re-checks symmetry,
+    finiteness, and conflict-list consistency on every construction —
+    dominant when the inputs are the already-validated outputs of the
+    repo's own builders (``build_auxiliary_graph`` costs are symmetric by
+    construction; the artifact cache's conflict lists are unique, sorted,
+    and symmetric).  This constructor trusts the caller: pass it nothing
+    but artifacts produced by those builders.
+    """
+    inst = object.__new__(OrienteeringInstance)
+    inst.costs = np.asarray(costs, dtype=float)
+    inst.awards = np.asarray(awards, dtype=float)
+    inst.budget = float(budget)
+    inst.depot = int(depot)
+    inst.conflict_groups = None
+    if conflict_neighbor_lists is not None:
+        lists = [np.asarray(nb, dtype=int) for nb in conflict_neighbor_lists]
+        inst.conflict_neighbor_lists = lists
+        inst._neighbors = lists
+    else:
+        inst.conflict_neighbor_lists = None
+        inst._neighbors = None
+    return inst
+
+
+__all__ = ["OrienteeringInstance", "OrienteeringSolution", "make_solution",
+           "transpose_copy", "trusted_instance"]

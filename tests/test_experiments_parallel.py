@@ -668,7 +668,10 @@ class TestJobsIndependentMetrics:
         par = self._counters(tiny_config, 2)
         assert seq == par
         assert any(name.startswith("kernel.") for name in seq)
-        assert all(value > 0 for value in seq.values())
+        # GRASP work counters may legitimately read 0 (no dedup hits, no
+        # warm starts in a cold sweep); restart counts never do.
+        assert all(value >= 0 for value in seq.values())
+        assert seq.get("kernel.grasp.restarts", 0) > 0
 
     def test_fig5_kernel_counters_equal_and_timed(self, tiny_config):
         # Fig. 5 runs the kernel planners, so the fold also carries the
